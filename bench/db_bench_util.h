@@ -1,0 +1,71 @@
+#ifndef DURASSD_BENCH_DB_BENCH_UTIL_H_
+#define DURASSD_BENCH_DB_BENCH_UTIL_H_
+
+// Shared scaffolding for the database-level benches (Fig. 5/6, Tables 3/4):
+// builds the paper's rig — a DuraSSD for data and a second one for the log
+// (Sec. 4.2), a file system with the write-barrier knob, and a minibase
+// instance in a given barrier x double-write x page-size configuration.
+
+#include <cstdio>
+#include <memory>
+
+#include "db/database.h"
+#include "host/sim_file.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+
+struct DbRig {
+  std::unique_ptr<SsdDevice> data_dev;
+  std::unique_ptr<SsdDevice> log_dev;
+  std::unique_ptr<SimFileSystem> data_fs;
+  std::unique_ptr<SimFileSystem> log_fs;
+  std::unique_ptr<Database> db;
+  IoContext io;
+};
+
+struct DbRigConfig {
+  bool write_barriers = true;
+  bool double_write = true;
+  uint32_t page_size = 4 * kKiB;
+  uint64_t pool_bytes = 16 * kMiB;
+  /// O_DSYNC-style commercial engine (Table 4).
+  bool sync_every_page_write = false;
+  /// Device sized for bench working sets; store_data must be on (the
+  /// engine pages really live there).
+  uint32_t blocks_per_plane = 96;
+};
+
+inline DbRig MakeDbRig(const DbRigConfig& cfg) {
+  DbRig rig;
+  SsdConfig dc = SsdConfig::DuraSsd();
+  dc.geometry.blocks_per_plane = cfg.blocks_per_plane;
+  dc.store_data = true;
+  rig.data_dev = std::make_unique<SsdDevice>(dc);
+  rig.log_dev = std::make_unique<SsdDevice>(dc);
+
+  SimFileSystem::Options fso;
+  fso.write_barriers = cfg.write_barriers;
+  rig.data_fs = std::make_unique<SimFileSystem>(rig.data_dev.get(), fso);
+  rig.log_fs = std::make_unique<SimFileSystem>(rig.log_dev.get(), fso);
+
+  Database::Options dbo;
+  dbo.page_size = cfg.page_size;
+  dbo.pool_bytes = cfg.pool_bytes;
+  dbo.double_write = cfg.double_write;
+  dbo.sync_every_page_write = cfg.sync_every_page_write;
+  dbo.checkpoint_log_bytes = 8 * kMiB;  // A few checkpoints per run.
+  auto db = Database::Open(rig.io, rig.data_fs.get(), rig.log_fs.get(), dbo);
+  if (!db.ok()) {
+    fprintf(stderr, "Database::Open failed: %s\n",
+            db.status().ToString().c_str());
+    abort();
+  }
+  rig.db = std::move(*db);
+  return rig;
+}
+
+}  // namespace durassd
+
+#endif  // DURASSD_BENCH_DB_BENCH_UTIL_H_

@@ -1,0 +1,158 @@
+// google-benchmark microbenchmarks for the hot paths of the library itself
+// (wall-clock cost of the simulator, not virtual-time results): device
+// read/write dispatch, FTL programs, B+-tree operations, CRC, histogram.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "db/btree.h"
+#include "db/buffer_pool.h"
+#include "db/wal.h"
+#include "host/sim_file.h"
+#include "kv/kvstore.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+namespace {
+
+void BM_Crc32c4K(benchmark::State& state) {
+  std::string data(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Crc32c4K);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Random rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<SimTime>(rng.Uniform(100 * kMillisecond)));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Random rng(2);
+  ZipfianGenerator zipf(1000000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.NextScrambled(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_SsdCachedWrite(benchmark::State& state) {
+  SsdConfig cfg = SsdConfig::DuraSsd();
+  cfg.store_data = false;
+  SsdDevice dev(cfg);
+  const std::string data(4096, 'w');
+  Random rng(3);
+  SimTime t = 0;
+  for (auto _ : state) {
+    const auto r = dev.Write(t, rng.Uniform(dev.num_sectors()), data);
+    t = r.done;
+  }
+}
+BENCHMARK(BM_SsdCachedWrite);
+
+void BM_SsdRead(benchmark::State& state) {
+  SsdConfig cfg = SsdConfig::DuraSsd();
+  cfg.store_data = false;
+  SsdDevice dev(cfg);
+  const std::string data(4096, 'r');
+  SimTime t = 0;
+  for (Lpn l = 0; l < 4096; ++l) t = dev.Write(t, l, data).done;
+  Random rng(4);
+  for (auto _ : state) {
+    const auto r = dev.Read(t, rng.Uniform(4096), 1, nullptr);
+    t = r.done;
+  }
+}
+BENCHMARK(BM_SsdRead);
+
+class BTreeFixture : public benchmark::Fixture {
+ public:
+  class Bump : public PageAllocator {
+   public:
+    StatusOr<PageId> AllocatePage(IoContext&) override { return next_++; }
+    PageId next_ = 1;
+  };
+
+  void SetUp(const benchmark::State&) override {
+    SsdConfig cfg = SsdConfig::DuraSsd();
+    cfg.store_data = true;
+    dev = std::make_unique<SsdDevice>(cfg);
+    fs = std::make_unique<SimFileSystem>(dev.get(), SimFileSystem::Options{});
+    wal = std::make_unique<Wal>(fs->Open("wal"), Wal::Options{});
+    pool = std::make_unique<BufferPool>(
+        fs->Open("data"), wal.get(), nullptr,
+        BufferPool::Options{64 * kMiB, 4096, false, 0});
+    MutationCtx m{0, 0, nullptr};
+    auto root = BTree::Create(io, pool.get(), &alloc, m);
+    tree = std::make_unique<BTree>(pool.get(), &alloc, *root);
+    Random rng(5);
+    for (int i = 0; i < 100000; ++i) {
+      tree->Put(io, m, "key" + std::to_string(i), "value-payload-000");
+    }
+  }
+  void TearDown(const benchmark::State&) override {
+    tree.reset();
+    pool.reset();
+    wal.reset();
+    fs.reset();
+    dev.reset();
+  }
+
+  IoContext io;
+  Bump alloc;
+  std::unique_ptr<SsdDevice> dev;
+  std::unique_ptr<SimFileSystem> fs;
+  std::unique_ptr<Wal> wal;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<BTree> tree;
+};
+
+BENCHMARK_F(BTreeFixture, Get)(benchmark::State& state) {
+  Random rng(6);
+  std::string v;
+  for (auto _ : state) {
+    tree->Get(io, "key" + std::to_string(rng.Uniform(100000)), &v);
+  }
+}
+
+BENCHMARK_F(BTreeFixture, Put)(benchmark::State& state) {
+  Random rng(7);
+  MutationCtx m{0, 0, nullptr};
+  for (auto _ : state) {
+    tree->Put(io, m, "key" + std::to_string(rng.Uniform(100000)),
+              "value-payload-001");
+  }
+}
+
+void BM_KvStorePut(benchmark::State& state) {
+  SsdConfig cfg = SsdConfig::DuraSsd();
+  cfg.store_data = true;
+  SsdDevice dev(cfg);
+  SimFileSystem fs(&dev, SimFileSystem::Options{});
+  IoContext io;
+  KvStore::Options ko;
+  ko.batch_size = 100;
+  auto store = KvStore::Open(io, &fs, "b.couch", ko);
+  const std::string value(1024, 'v');
+  Random rng(8);
+  for (auto _ : state) {
+    (*store)->Put(io, "user" + std::to_string(rng.Uniform(100000)), value);
+  }
+}
+BENCHMARK(BM_KvStorePut);
+
+}  // namespace
+}  // namespace durassd
+
+BENCHMARK_MAIN();

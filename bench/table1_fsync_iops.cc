@@ -1,0 +1,88 @@
+// Reproduces Table 1: "Effect of fsync and flush cache on 4KB page size
+// random write IOPS" — four devices (HDD, SSD-A, SSD-B, DuraSSD), storage
+// cache OFF/ON, fsync every {1,4,8,16,32,64,128,256,never} writes, plus the
+// DuraSSD "ON (NoBarrier)" row. Single fio thread, 4KB random writes.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ssd/device_factory.h"
+#include "workloads/fiosim.h"
+
+namespace durassd {
+namespace {
+
+constexpr uint32_t kFsyncSteps[] = {1, 4, 8, 16, 32, 64, 128, 256, 0};
+
+void PrintRow(const char* label, const std::vector<double>& iops) {
+  printf("  %-14s", label);
+  for (double v : iops) printf(" %8.0f", v);
+  printf("\n");
+}
+
+std::vector<double> RunSweep(DeviceModel model, bool cache_on,
+                             bool barriers, uint64_t ops) {
+  std::vector<double> out;
+  for (uint32_t every : kFsyncSteps) {
+    auto device = MakeDevice(model, cache_on, /*store_data=*/false);
+    FioJob job;
+    job.mode = FioJob::Mode::kRandWrite;
+    job.block_bytes = 4 * kKiB;
+    job.threads = 1;
+    job.ops = ops;
+    job.fsync_every = every;
+    job.write_barriers = barriers;
+    out.push_back(RunFio(device.get(), job).iops);
+  }
+  return out;
+}
+
+void RunTable(uint64_t ops) {
+  printf("Table 1: 4KB random write IOPS vs fsync frequency\n");
+  printf("  %-14s", "writes/fsync:");
+  for (uint32_t every : kFsyncSteps) {
+    if (every == 0) {
+      printf(" %8s", "no-fsync");
+    } else {
+      printf(" %8u", every);
+    }
+  }
+  printf("\n");
+
+  const struct {
+    DeviceModel model;
+    const char* name;
+  } kDevices[] = {
+      {DeviceModel::kHdd, "HDD"},
+      {DeviceModel::kSsdA, "SSD-A"},
+      {DeviceModel::kSsdB, "SSD-B"},
+      {DeviceModel::kDuraSsd, "DuraSSD"},
+  };
+  for (const auto& dev : kDevices) {
+    printf(" %s\n", dev.name);
+    PrintRow("cache OFF",
+             RunSweep(dev.model, /*cache_on=*/false, /*barriers=*/true,
+                      dev.model == DeviceModel::kHdd ? ops / 4 : ops));
+    PrintRow("cache ON",
+             RunSweep(dev.model, /*cache_on=*/true, /*barriers=*/true,
+                      dev.model == DeviceModel::kHdd ? ops / 4 : ops));
+    if (dev.model == DeviceModel::kDuraSsd) {
+      PrintRow("ON (NoBarrier)",
+               RunSweep(dev.model, /*cache_on=*/true, /*barriers=*/false,
+                        ops));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace durassd
+
+int main(int argc, char** argv) {
+  uint64_t ops = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--quick") == 0) ops = 4000;
+  }
+  durassd::RunTable(ops);
+  return 0;
+}

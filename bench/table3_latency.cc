@@ -1,0 +1,61 @@
+// Reproduces Table 3: distribution of LinkBench transaction latency
+// (mean/P25/P50/P75/P99/max, in ms) for the ten operation types, comparing
+// the MySQL default configuration (ON/ON, 16KB pages) against the best
+// DuraSSD configuration (OFF/OFF, 4KB pages).
+#include <cstdio>
+#include <cstring>
+
+#include "bench/db_bench_util.h"
+#include "workloads/linkbench.h"
+
+namespace durassd {
+namespace {
+
+void RunConfig(const char* title, bool barriers, bool dwb,
+               uint32_t page_size, uint64_t nodes, uint64_t requests) {
+  DbRigConfig rc;
+  rc.write_barriers = barriers;
+  rc.double_write = dwb;
+  rc.page_size = page_size;
+  rc.pool_bytes = nodes / 14 * kKiB;
+  DbRig rig = MakeDbRig(rc);
+
+  LinkBench::Config lc;
+  lc.num_nodes = nodes;
+  lc.clients = 128;
+  lc.requests = requests;
+  LinkBench bench(rig.db.get(), lc);
+  if (!bench.Load(rig.io).ok()) abort();
+  auto result = bench.Run();
+  if (!result.ok()) abort();
+
+  printf("%s (TPS %.0f)\n", title, result->tps);
+  printf("  %-14s %8s %8s %8s %8s %8s %8s\n", "op", "mean", "p25", "p50",
+         "p75", "p99", "max");
+  for (int op = 0; op < static_cast<int>(LinkOp::kNumOps); ++op) {
+    const LinkOp o = static_cast<LinkOp>(op);
+    auto it = result->latencies.find(o);
+    if (it == result->latencies.end()) continue;
+    printf("  %-14s %s\n", LinkOpName(o), it->second.SummaryMillis().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace durassd
+
+int main(int argc, char** argv) {
+  uint64_t nodes = 100000;
+  uint64_t requests = 60000;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--quick") == 0) {
+      nodes = 40000;
+      requests = 20000;
+    }
+  }
+  printf("Table 3: LinkBench latency distribution (ms)\n");
+  durassd::RunConfig(" ON/ON with 16KB pages (MySQL default)", true, true,
+                     16 * durassd::kKiB, nodes, requests);
+  durassd::RunConfig(" OFF/OFF with 4KB pages (DuraSSD best)", false, false,
+                     4 * durassd::kKiB, nodes, requests);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 5: Couchbase-style (KvStore) throughput for YCSB,
+// batch-size {1, 2, 5, 10, 100} x write barriers {on, off} x update
+// fraction {100%, 50%}, single benchmark thread, 1KB documents.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "host/sim_file.h"
+#include "kv/kvstore.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+#include "workloads/ycsb.h"
+
+namespace durassd {
+namespace {
+
+double RunConfig(bool barriers, uint32_t batch, double update_fraction,
+                 uint64_t records, uint64_t operations) {
+  SsdConfig dc = SsdConfig::DuraSsd();
+  dc.store_data = true;
+  SsdDevice device(dc);
+  SimFileSystem::Options fso;
+  fso.write_barriers = barriers;
+  SimFileSystem fs(&device, fso);
+
+  IoContext io;
+  KvStore::Options ko;
+  ko.batch_size = batch;
+  auto store = KvStore::Open(io, &fs, "bucket.couch", ko);
+  if (!store.ok()) abort();
+
+  Ycsb::Config yc;
+  yc.records = records;
+  yc.operations = operations;
+  yc.update_fraction = update_fraction;
+  yc.clients = 1;  // Single thread, like the paper.
+  Ycsb bench(store->get(), yc);
+  if (!bench.Load(io).ok()) abort();
+  auto result = bench.Run();
+  if (!result.ok()) abort();
+  return result->ops_per_sec;
+}
+
+void RunTable(uint64_t records, uint64_t operations) {
+  const uint32_t kBatches[] = {1, 2, 5, 10, 100};
+  printf("Table 5: Couchbase-style YCSB throughput (ops/s)\n");
+  for (bool barriers : {true, false}) {
+    printf(" (%s) with write barriers %s\n", barriers ? "a" : "b",
+           barriers ? "on" : "off");
+    printf("  %-12s", "batch-size:");
+    for (uint32_t b : kBatches) printf(" %8u", b);
+    printf("\n");
+    for (double update : {1.0, 0.5}) {
+      printf("  Update %3.0f%%", update * 100);
+      for (uint32_t b : kBatches) {
+        printf(" %8.0f", RunConfig(barriers, b, update, records, operations));
+        fflush(stdout);
+      }
+      printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace durassd
+
+int main(int argc, char** argv) {
+  uint64_t records = 50000;
+  uint64_t operations = 50000;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--quick") == 0) {
+      records = 20000;
+      operations = 15000;
+    }
+  }
+  durassd::RunTable(records, operations);
+  return 0;
+}

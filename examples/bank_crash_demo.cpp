@@ -1,0 +1,103 @@
+// OLTP crash demo: a tiny bank ledger on minibase, run in the paper's best
+// configuration (no write barriers, no double-write buffer) on two devices:
+//   1. DuraSSD — every committed transfer survives a power cut;
+//   2. a commodity volatile-cache SSD — committed transfers evaporate.
+//
+// This is the paper's Section 2 argument made executable: the OFF/OFF
+// configuration is an order of magnitude faster, and only the durable
+// cache makes it safe.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "host/sim_file.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+#include "workloads/keys.h"
+
+using namespace durassd;
+
+namespace {
+
+struct Outcome {
+  double seconds = 0;
+  int committed = 0;
+  int survived = 0;
+  bool recovered = false;
+};
+
+Outcome RunScenario(bool durable_cache) {
+  SsdConfig dc = durable_cache ? SsdConfig::DuraSsd() : SsdConfig::SsdA();
+  dc.geometry = FlashGeometry::Tiny();
+  dc.geometry.blocks_per_plane = 128;
+  dc.geometry.pages_per_block = 32;
+  SsdDevice ssd(dc);
+
+  SimFileSystem::Options fso;
+  fso.write_barriers = false;  // The DuraSSD deployment mode.
+  SimFileSystem fs(&ssd, fso);
+
+  IoContext io;
+  Database::Options dbo;
+  dbo.pool_bytes = 2 * kMiB;
+  dbo.double_write = false;
+  auto db_or = Database::Open(io, &fs, &fs, dbo);
+  if (!db_or.ok()) return {};
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  auto accounts = db->CreateTree(io, "accounts");
+  Outcome out;
+
+  // 200 committed transfers between 20 accounts.
+  for (int i = 0; i < 200; ++i) {
+    auto txn = db->Begin(io);
+    const uint64_t from = i % 20;
+    const uint64_t to = (i + 7) % 20;
+    db->Put(io, *txn, *accounts, KeyU64(from), "balance-" + std::to_string(i));
+    db->Put(io, *txn, *accounts, KeyU64(to), "balance-" + std::to_string(i));
+    if (db->Commit(io, *txn).ok()) out.committed++;
+  }
+  out.seconds = static_cast<double>(io.now) / kSecond;
+
+  // Power failure, host and device together.
+  db.reset();
+  ssd.PowerCut(io.now);
+  ssd.PowerOn();
+
+  // Reboot and count what survived.
+  IoContext io2;
+  auto db2_or = Database::Open(io2, &fs, &fs, dbo);
+  if (!db2_or.ok()) {
+    return out;  // recovered stays false.
+  }
+  out.recovered = true;
+  std::unique_ptr<Database> db2 = std::move(*db2_or);
+  auto tid = db2->GetTreeId("accounts");
+  if (tid.ok()) {
+    for (uint64_t a = 0; a < 20; ++a) {
+      std::string v;
+      if (db2->Get(io2, *tid, KeyU64(a), &v).ok()) out.survived++;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printf("Bank ledger, OFF/OFF configuration (no barriers, no double-write)\n");
+  printf("%-24s %10s %10s %12s %10s\n", "device", "commits", "time(s)",
+         "recovered", "accounts");
+  for (bool durable : {true, false}) {
+    const Outcome o = RunScenario(durable);
+    printf("%-24s %10d %10.3f %12s %7d/20\n",
+           durable ? "DuraSSD (durable cache)" : "SSD-A (volatile cache)",
+           o.committed, o.seconds, o.recovered ? "yes" : "NO",
+           o.survived);
+  }
+  printf("\nThe volatile device acknowledged the same commits, then lost "
+         "them:\nfsync never flushed its cache. The durable cache keeps the "
+         "same speed\nwithout the loss — the paper's core claim.\n");
+  return 0;
+}

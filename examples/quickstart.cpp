@@ -1,0 +1,78 @@
+// Quickstart: create a DuraSSD, write through the file system, pull the
+// plug mid-flight, reboot, and observe that every acknowledged write
+// survived — without a single FLUSH CACHE.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "host/sim_file.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+using namespace durassd;
+
+int main() {
+  // 1. A DuraSSD with the paper's geometry (8 channels x 4 packages x
+  //    4 chips x 2 planes, 8KB NAND pages, 4KB mapping) and a capacitor-
+  //    backed durable cache.
+  SsdConfig config = SsdConfig::DuraSsd();
+  SsdDevice ssd(config);
+  printf("DuraSSD: %.1f GiB logical, durable cache: %s\n",
+         static_cast<double>(ssd.capacity_bytes()) / kGiB,
+         ssd.has_durable_cache() ? "yes" : "no");
+
+  // 2. Mount a file system with write barriers OFF — safe on this device,
+  //    reckless on any volatile-cache SSD.
+  SimFileSystem::Options fso;
+  fso.write_barriers = false;
+  SimFileSystem fs(&ssd, fso);
+  SimFile* file = fs.Open("journal.dat");
+
+  // 3. Write 100 records. Virtual time advances through each call; no
+  //    fsync ever reaches the device as a FLUSH CACHE.
+  SimTime now = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string record = "record-" + std::to_string(i) +
+                               std::string(4096 - 16, '.');
+    const SimFile::IoResult w = file->Write(now, i * 4096ull, record);
+    if (!w.status.ok()) {
+      fprintf(stderr, "write failed: %s\n", w.status.ToString().c_str());
+      return 1;
+    }
+    now = w.done;
+    const SimFile::IoResult s = file->Sync(now);  // No barrier: ~free.
+    now = s.done;
+  }
+  printf("wrote 100 records in %.2f ms of device time "
+         "(%llu FLUSH CACHE commands sent)\n",
+         static_cast<double>(now) / kMillisecond,
+         static_cast<unsigned long long>(ssd.stats().flushes));
+
+  // 4. Power failure, right now — destages are still in flight.
+  ssd.PowerCut(now);
+  printf("power cut at %.2f ms: %llu pages dumped on capacitor power\n",
+         static_cast<double>(now) / kMillisecond,
+         static_cast<unsigned long long>(ssd.stats().dumped_pages));
+
+  // 5. Reboot: the recovery manager replays the dump.
+  const SimTime recovery = ssd.PowerOn();
+  printf("rebooted; recovery took %.2f ms (%llu pages replayed)\n",
+         static_cast<double>(recovery) / kMillisecond,
+         static_cast<unsigned long long>(ssd.stats().replayed_pages));
+
+  // 6. Verify every record.
+  int intact = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::string data;
+    const SimFile::IoResult r = file->Read(0, i * 4096ull, 4096, &data);
+    const std::string expect = "record-" + std::to_string(i);
+    if (r.status.ok() && data.compare(0, expect.size(), expect) == 0) {
+      intact++;
+    }
+  }
+  printf("%d/100 records intact after power loss.\n", intact);
+  return intact == 100 ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every bench binary (full scale) and captures the output.
+set -u
+for b in table1_fsync_iops table2_page_size fig5_linkbench fig6_buffer_sweep \
+         table3_latency table4_tpcc table5_couchbase ablation_cache_size \
+         ablation_parallelism ablation_gc ablation_dump_area ablation_endurance ablation_flush_semantics; do
+  if [ -x "build/bench/$b" ]; then
+    echo "===== $b ====="
+    ./build/bench/$b
+    echo
+  fi
+done
+echo "===== micro_ops ====="
+./build/bench/micro_ops --benchmark_min_time=0.1

@@ -1,0 +1,73 @@
+#ifndef DURASSD_COMMON_CODING_H_
+#define DURASSD_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace durassd {
+
+/// Little-endian fixed-width encode/decode helpers used by page layouts,
+/// WAL records, and the kvstore on-disk format.
+
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+inline void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Reads a 32-bit length-prefixed slice out of *input, advancing it.
+/// Returns false on underflow.
+inline bool GetLengthPrefixed(Slice* input, Slice* out) {
+  if (input->size() < 4) return false;
+  uint32_t len = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  if (input->size() < len) return false;
+  *out = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+inline bool GetFixed32(Slice* input, uint32_t* out) {
+  if (input->size() < 4) return false;
+  *out = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(Slice* input, uint64_t* out) {
+  if (input->size() < 8) return false;
+  *out = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+}  // namespace durassd
+
+#endif  // DURASSD_COMMON_CODING_H_

@@ -1,0 +1,16 @@
+#ifndef DURASSD_COMMON_CRC32C_H_
+#define DURASSD_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace durassd {
+
+/// CRC-32C (Castagnoli). Used for page checksums so torn writes injected by
+/// the power-failure machinery are detectable exactly like InnoDB detects
+/// partial page writes.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace durassd
+
+#endif  // DURASSD_COMMON_CRC32C_H_

@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace durassd {
+
+namespace {
+// Geometric bucket boundaries: bucket b covers (base^b-ish) nanoseconds.
+// ratio^512 must exceed ~hours in ns (1e13): ratio = 1.062 gives 1.062^512
+// ~= 3e13, plenty.
+constexpr double kRatio = 1.062;
+}  // namespace
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<SimTime>::max()),
+      max_(0) {}
+
+int Histogram::BucketFor(SimTime v) {
+  if (v <= 1) return 0;
+  int b = static_cast<int>(std::log(static_cast<double>(v)) / std::log(kRatio));
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+SimTime Histogram::BucketUpper(int b) {
+  return static_cast<SimTime>(std::pow(kRatio, b + 1));
+}
+
+void Histogram::Record(SimTime value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<SimTime>::max();
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+SimTime Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(BucketUpper(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::SummaryMillis() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf), "%8.1f %8.1f %8.1f %8.1f %8.1f %8.1f",
+           Mean() / static_cast<double>(kMillisecond),
+           static_cast<double>(Percentile(25)) / kMillisecond,
+           static_cast<double>(Percentile(50)) / kMillisecond,
+           static_cast<double>(Percentile(75)) / kMillisecond,
+           static_cast<double>(Percentile(99)) / kMillisecond,
+           static_cast<double>(max()) / kMillisecond);
+  return buf;
+}
+
+}  // namespace durassd

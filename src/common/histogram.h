@@ -1,0 +1,48 @@
+#ifndef DURASSD_COMMON_HISTOGRAM_H_
+#define DURASSD_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace durassd {
+
+/// Log-bucketed latency histogram. Records SimTime samples and reports the
+/// percentiles the paper's Table 3 uses (mean, P25, P50, P75, P99, max).
+/// Buckets grow geometrically (~4% ratio) from 1ns to ~hours, so percentile
+/// error is bounded at a few percent while memory stays constant.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(SimTime value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  SimTime min() const { return count_ == 0 ? 0 : min_; }
+  SimTime max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  /// p in [0, 100].
+  SimTime Percentile(double p) const;
+
+  /// "mean p25 p50 p75 p99 max" in milliseconds with one decimal.
+  std::string SummaryMillis() const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(SimTime v);
+  static SimTime BucketUpper(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  double sum_;
+  SimTime min_;
+  SimTime max_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_COMMON_HISTOGRAM_H_

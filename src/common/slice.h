@@ -1,0 +1,64 @@
+#ifndef DURASSD_COMMON_SLICE_H_
+#define DURASSD_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace durassd {
+
+/// Non-owning view over a byte range, the currency of all read/write APIs.
+/// Thin wrapper over std::string_view that adds byte-oriented helpers.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view v) : data_(v.data()), size_(v.size()) {}    // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = 1;
+    }
+    return r;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace durassd
+
+#endif  // DURASSD_COMMON_SLICE_H_

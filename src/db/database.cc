@@ -1,0 +1,595 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "db/page.h"
+
+namespace durassd {
+
+namespace {
+constexpr char kDataFile[] = "data.db";
+constexpr char kDwbFile[] = "dwb.db";
+constexpr char kWalFile[] = "wal.log";
+}  // namespace
+
+Database::Database(SimFileSystem* data_fs, SimFileSystem* log_fs,
+                   Options options)
+    : data_fs_(data_fs),
+      log_fs_(log_fs),
+      opts_(options),
+      cpu_(options.cpu_parallelism) {}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(IoContext& io,
+                                                   SimFileSystem* data_fs,
+                                                   SimFileSystem* log_fs,
+                                                   Options options) {
+  const bool existing = data_fs->Exists(kDataFile);
+  auto db = std::unique_ptr<Database>(new Database(data_fs, log_fs, options));
+  db->data_file_ = data_fs->Open(kDataFile);
+  db->dwb_file_ = data_fs->Open(kDwbFile);
+  db->wal_file_ = log_fs->Open(kWalFile);
+  db->wal_ = std::make_unique<Wal>(db->wal_file_,
+                                   Wal::Options{options.checkpoint_log_bytes});
+  if (options.double_write) {
+    db->dwb_ = std::make_unique<DoubleWriteBuffer>(
+        db->dwb_file_, db->data_file_,
+        DoubleWriteBuffer::Options{options.page_size,
+                                   options.dwb_batch_pages});
+  }
+  db->pool_ = std::make_unique<BufferPool>(
+      db->data_file_, db->wal_.get(), db->dwb_.get(),
+      BufferPool::Options{options.pool_bytes, options.page_size,
+                          options.sync_every_page_write});
+
+  if (existing) {
+    DURASSD_RETURN_IF_ERROR(db->Recover(io));
+  } else {
+    DURASSD_RETURN_IF_ERROR(db->Initialize(io));
+  }
+  return db;
+}
+
+Status Database::Initialize(IoContext& io) {
+  // Reserve page 0 for the meta page; real content lands at the first
+  // checkpoint. Pre-size the data file so offset 0 maps to an extent.
+  DURASSD_RETURN_IF_ERROR(data_file_->Allocate(opts_.page_size));
+  (void)io;
+  return Status::OK();
+}
+
+void Database::ChargeCpu(IoContext& io) {
+  const ResourceTimeline::Grant g = cpu_.Acquire(io.now, opts_.cpu_per_op);
+  io.AdvanceTo(g.done);
+}
+
+StatusOr<PageId> Database::AllocatePage(IoContext& io) {
+  (void)io;
+  return next_page_++;
+}
+
+BTree* Database::TreeById(uint32_t id) {
+  auto it = trees_.find(id);
+  return it == trees_.end() ? nullptr : it->second.get();
+}
+
+void Database::SyncRootPointers() {
+  for (auto& [id, tree] : trees_) {
+    tree_info_[id].root = tree->root();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+StatusOr<uint32_t> Database::CreateTree(IoContext& io,
+                                        const std::string& name) {
+  if (tree_names_.count(name) != 0) {
+    return Status::InvalidArgument("tree exists: " + name);
+  }
+  const uint32_t id = next_tree_id_++;
+  if (!in_recovery_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kCreateTree;
+    rec.tree = id;
+    rec.value = name;
+    wal_->Append(rec);
+  }
+  MutationCtx m{wal_->next_lsn(), 0, nullptr};
+  StatusOr<PageId> root = BTree::Create(io, pool_.get(), this, m);
+  if (!root.ok()) return root.status();
+
+  tree_names_[name] = id;
+  tree_info_[id] = TreeInfo{id, name, *root};
+  trees_[id] = std::make_unique<BTree>(pool_.get(), this, *root);
+  return id;
+}
+
+StatusOr<uint32_t> Database::GetTreeId(const std::string& name) const {
+  auto it = tree_names_.find(name);
+  if (it == tree_names_.end()) return Status::NotFound(name);
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+StatusOr<TxnId> Database::Begin(IoContext& io) {
+  if (active_.id != 0) {
+    return Status::InvalidArgument("a transaction is already active");
+  }
+  active_.id = next_txn_++;
+  active_.undo.clear();
+  active_.dirtied.clear();
+  if (!in_recovery_) {
+    WalRecord rec;
+    rec.type = WalRecordType::kBegin;
+    rec.txn = active_.id;
+    wal_->Append(rec);
+  }
+  (void)io;
+  return active_.id;
+}
+
+Status Database::Put(IoContext& io, TxnId txn, uint32_t tree, Slice key,
+                     Slice value) {
+  if (txn != active_.id || txn == 0) {
+    return Status::InvalidArgument("not the active transaction");
+  }
+  BTree* t = TreeById(tree);
+  if (t == nullptr) return Status::NotFound("no such tree");
+  ChargeCpu(io);
+  stats_.puts++;
+
+  std::string old_value;
+  bool had_old = false;
+  // The before-image is captured by the tree operation itself; log first
+  // with a placeholder LSN order: append after we know the old value means
+  // two passes — instead we pre-read for the undo image, then log, then
+  // apply, so the page LSN covers the record.
+  // (Pre-read cost: almost always a buffer hit on the page the Put will
+  // touch anyway.)
+  {
+    std::string existing;
+    Status s = t->Get(io, key, &existing);
+    if (s.ok()) {
+      had_old = true;
+      old_value = std::move(existing);
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+
+  WalRecord rec;
+  rec.type = WalRecordType::kPut;
+  rec.txn = txn;
+  rec.tree = tree;
+  rec.key = key.ToString();
+  rec.value = value.ToString();
+  rec.has_old = had_old;
+  rec.old_value = old_value;
+  const Lsn lsn = wal_->Append(rec);
+
+  MutationCtx m{lsn, txn, &active_.dirtied};
+  DURASSD_RETURN_IF_ERROR(t->Put(io, m, key, value));
+  active_.undo.push_back(UndoOp{true, tree, rec.key, had_old, old_value});
+  SyncRootPointers();
+  return Status::OK();
+}
+
+Status Database::Delete(IoContext& io, TxnId txn, uint32_t tree, Slice key) {
+  if (txn != active_.id || txn == 0) {
+    return Status::InvalidArgument("not the active transaction");
+  }
+  BTree* t = TreeById(tree);
+  if (t == nullptr) return Status::NotFound("no such tree");
+  ChargeCpu(io);
+  stats_.deletes++;
+
+  std::string old_value;
+  bool had_old = false;
+  {
+    std::string existing;
+    Status s = t->Get(io, key, &existing);
+    if (s.ok()) {
+      had_old = true;
+      old_value = std::move(existing);
+    } else if (s.IsNotFound()) {
+      return s;  // Nothing to delete; no log record.
+    } else {
+      return s;
+    }
+  }
+
+  WalRecord rec;
+  rec.type = WalRecordType::kDelete;
+  rec.txn = txn;
+  rec.tree = tree;
+  rec.key = key.ToString();
+  rec.has_old = had_old;
+  rec.old_value = old_value;
+  const Lsn lsn = wal_->Append(rec);
+
+  MutationCtx m{lsn, txn, &active_.dirtied};
+  DURASSD_RETURN_IF_ERROR(t->Delete(io, m, key));
+  active_.undo.push_back(UndoOp{false, tree, rec.key, had_old, old_value});
+  SyncRootPointers();
+  return Status::OK();
+}
+
+Status Database::Commit(IoContext& io, TxnId txn) {
+  if (txn != active_.id || txn == 0) {
+    return Status::InvalidArgument("not the active transaction");
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::kCommit;
+  rec.txn = txn;
+  const Lsn lsn = wal_->Append(rec);
+  DURASSD_RETURN_IF_ERROR(wal_->SyncTo(io, lsn));  // Commit durability.
+
+  for (PageId id : active_.dirtied) pool_->ClearOwner(id, txn);
+  active_ = ActiveTxn{};
+  stats_.txns_committed++;
+  return MaybeCheckpoint(io);
+}
+
+Status Database::Abort(IoContext& io, TxnId txn) {
+  if (txn != active_.id || txn == 0) {
+    return Status::InvalidArgument("not the active transaction");
+  }
+  // Apply inverse operations in reverse, logging them as compensations so
+  // replay stays deterministic; then close the transaction.
+  std::vector<UndoOp> undo = std::move(active_.undo);
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    BTree* t = TreeById(it->tree);
+    assert(t != nullptr);
+    WalRecord rec;
+    rec.txn = txn;
+    rec.tree = it->tree;
+    rec.key = it->key;
+    if (it->was_put) {
+      if (it->had_old) {
+        rec.type = WalRecordType::kPut;
+        rec.value = it->old_value;
+      } else {
+        rec.type = WalRecordType::kDelete;
+      }
+    } else {
+      // A delete always had an old value.
+      rec.type = WalRecordType::kPut;
+      rec.value = it->old_value;
+    }
+    const Lsn lsn = wal_->Append(rec);
+    MutationCtx m{lsn, txn, &active_.dirtied};
+    if (rec.type == WalRecordType::kPut) {
+      DURASSD_RETURN_IF_ERROR(t->Put(io, m, rec.key, rec.value));
+    } else {
+      Status s = t->Delete(io, m, rec.key);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+  }
+  WalRecord rec;
+  rec.type = WalRecordType::kAbort;
+  rec.txn = txn;
+  wal_->Append(rec);
+
+  for (PageId id : active_.dirtied) pool_->ClearOwner(id, txn);
+  SyncRootPointers();
+  active_ = ActiveTxn{};
+  stats_.txns_aborted++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status Database::Get(IoContext& io, uint32_t tree, Slice key,
+                     std::string* value) {
+  BTree* t = TreeById(tree);
+  if (t == nullptr) return Status::NotFound("no such tree");
+  ChargeCpu(io);
+  stats_.gets++;
+  return t->Get(io, key, value);
+}
+
+Status Database::Scan(IoContext& io, uint32_t tree, Slice start, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out) {
+  BTree* t = TreeById(tree);
+  if (t == nullptr) return Status::NotFound("no such tree");
+  ChargeCpu(io);
+  stats_.scans++;
+  return t->ScanFrom(io, start, limit, out);
+}
+
+Status Database::CountRange(IoContext& io, uint32_t tree, Slice start,
+                            Slice end, size_t cap, uint64_t* count) {
+  BTree* t = TreeById(tree);
+  if (t == nullptr) return Status::NotFound("no such tree");
+  ChargeCpu(io);
+  stats_.scans++;
+  return t->CountRange(io, start, end, cap, count);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint & meta page
+// ---------------------------------------------------------------------------
+
+std::string Database::SerializeMeta(Lsn ckpt_lsn, uint32_t gen) const {
+  std::string blob;
+  PutFixed64(&blob, ckpt_lsn);
+  PutFixed32(&blob, gen);
+  PutFixed64(&blob, next_page_);
+  PutFixed32(&blob, next_tree_id_);
+  PutFixed32(&blob, static_cast<uint32_t>(tree_info_.size()));
+  // Deterministic order (by name) for reproducible meta images.
+  for (const auto& [name, id] : tree_names_) {
+    const TreeInfo& info = tree_info_.at(id);
+    PutFixed32(&blob, info.id);
+    PutFixed64(&blob, info.root);
+    PutLengthPrefixed(&blob, name);
+  }
+  return blob;
+}
+
+Status Database::ParseMeta(Slice blob, Lsn* ckpt_lsn, uint32_t* gen) {
+  uint64_t next_page = 0;
+  uint32_t next_tree = 0, n = 0;
+  if (!GetFixed64(&blob, ckpt_lsn) || !GetFixed32(&blob, gen) ||
+      !GetFixed64(&blob, &next_page) || !GetFixed32(&blob, &next_tree) ||
+      !GetFixed32(&blob, &n)) {
+    return Status::Corruption("meta blob truncated");
+  }
+  next_page_ = next_page;
+  next_tree_id_ = next_tree;
+  tree_names_.clear();
+  tree_info_.clear();
+  trees_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    uint64_t root = 0;
+    Slice name;
+    if (!GetFixed32(&blob, &id) || !GetFixed64(&blob, &root) ||
+        !GetLengthPrefixed(&blob, &name)) {
+      return Status::Corruption("meta tree entry truncated");
+    }
+    tree_names_[name.ToString()] = id;
+    tree_info_[id] = TreeInfo{id, name.ToString(), root};
+    trees_[id] = std::make_unique<BTree>(pool_.get(), this, root);
+  }
+  return Status::OK();
+}
+
+Status Database::WriteMetaPage(IoContext& io, Lsn ckpt_lsn, uint32_t gen) {
+  SyncRootPointers();
+  StatusOr<PageRef> meta = pool_->Fix(io, 0, /*create=*/true);
+  if (!meta.ok()) return meta.status();
+  (*meta)->Format(0, PageType::kMeta);
+  const std::string blob = SerializeMeta(ckpt_lsn, gen);
+  std::string cell;
+  cell.resize(2);
+  const uint16_t len = static_cast<uint16_t>(2 + blob.size());
+  memcpy(cell.data(), &len, 2);
+  cell.append(blob);
+  if (!(*meta)->InsertCell(0, cell)) {
+    return Status::Corruption("meta blob exceeds page");
+  }
+  (*meta)->SealChecksum();
+
+  // Write the meta page through the double-write path (or directly) and
+  // make it durable: this is the master-record publish step.
+  if (dwb_ != nullptr) {
+    DURASSD_RETURN_IF_ERROR(
+        dwb_->Add(io, 0, std::string((*meta)->data(), (*meta)->size())));
+    DURASSD_RETURN_IF_ERROR(dwb_->FlushBatch(io));
+  } else {
+    const SimFile::IoResult r =
+        data_file_->Write(io.now, 0, (*meta)->AsSlice());
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    const SimFile::IoResult s = data_file_->Sync(io.now);
+    DURASSD_RETURN_IF_ERROR(s.status);
+    io.AdvanceTo(s.done);
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint(IoContext& io) {
+  if (active_.id != 0) {
+    return Status::InvalidArgument("checkpoint with active transaction");
+  }
+  stats_.checkpoints++;
+
+  // Phase 1: make the log and all data pages durable.
+  DURASSD_RETURN_IF_ERROR(wal_->SyncTo(io, wal_->next_lsn()));
+  DURASSD_RETURN_IF_ERROR(pool_->FlushAll(io));
+  const SimFile::IoResult r = data_file_->Sync(io.now);
+  DURASSD_RETURN_IF_ERROR(r.status);
+  io.AdvanceTo(r.done);
+
+  // Phase 2: publish the master record (meta page) pointing at a recycled
+  // log. Only after this does recovery switch to the new generation.
+  const uint32_t new_gen = wal_->generation() + 1;
+  DURASSD_RETURN_IF_ERROR(WriteMetaPage(io, 0, new_gen));
+  wal_->ResetTo(0, new_gen);
+  return Status::OK();
+}
+
+Status Database::MaybeCheckpoint(IoContext& io) {
+  if (in_recovery_) return Status::OK();
+  if (wal_->bytes_since_checkpoint() < opts_.checkpoint_log_bytes) {
+    return Status::OK();
+  }
+  return Checkpoint(io);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+Status Database::RepairTornPages(IoContext& io) {
+  if (dwb_ == nullptr) return Status::OK();
+  std::vector<std::pair<PageId, std::string>> images;
+  DURASSD_RETURN_IF_ERROR(dwb_->RecoverImages(io, &images));
+  for (const auto& [page_id, image] : images) {
+    std::string raw;
+    const SimFile::IoResult r = data_file_->Read(
+        io.now, static_cast<uint64_t>(page_id) * opts_.page_size,
+        opts_.page_size, &raw);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    raw.resize(opts_.page_size, '\0');
+    Page page(opts_.page_size);
+    page.CopyFrom(raw);
+    const bool home_intact =
+        page.header()->magic == Page::kMagic && page.VerifyChecksum();
+    if (!home_intact) {
+      const SimFile::IoResult w = data_file_->Write(
+          io.now, static_cast<uint64_t>(page_id) * opts_.page_size, image);
+      DURASSD_RETURN_IF_ERROR(w.status);
+      io.AdvanceTo(w.done);
+      stats_.torn_pages_repaired++;
+    }
+  }
+  if (stats_.torn_pages_repaired > 0) {
+    const SimFile::IoResult s = data_file_->Sync(io.now);
+    DURASSD_RETURN_IF_ERROR(s.status);
+    io.AdvanceTo(s.done);
+  }
+  return Status::OK();
+}
+
+Status Database::ReplayRecords(IoContext& io,
+                               const std::vector<WalRecord>& records) {
+  // Transactions replay through the normal code path; the single-active-
+  // transaction invariant means records of one txn are contiguous.
+  std::vector<const WalRecord*> open_ops;
+  TxnId open_txn = 0;
+
+  for (const WalRecord& rec : records) {
+    stats_.recovered_records++;
+    switch (rec.type) {
+      case WalRecordType::kCreateTree: {
+        StatusOr<uint32_t> id = CreateTree(io, rec.value);
+        if (!id.ok()) return id.status();
+        if (*id != rec.tree) {
+          return Status::Corruption("replay tree id mismatch");
+        }
+        break;
+      }
+      case WalRecordType::kBegin:
+        open_txn = rec.txn;
+        open_ops.clear();
+        break;
+      case WalRecordType::kPut:
+      case WalRecordType::kDelete: {
+        BTree* t = TreeById(rec.tree);
+        if (t == nullptr) return Status::Corruption("replay unknown tree");
+        MutationCtx m{rec.lsn, 0, nullptr};
+        if (rec.type == WalRecordType::kPut) {
+          DURASSD_RETURN_IF_ERROR(t->Put(io, m, rec.key, rec.value));
+        } else {
+          Status s = t->Delete(io, m, rec.key);
+          if (!s.ok() && !s.IsNotFound()) return s;
+        }
+        if (rec.txn == open_txn) open_ops.push_back(&rec);
+        SyncRootPointers();
+        break;
+      }
+      case WalRecordType::kCommit:
+      case WalRecordType::kAbort:
+        if (rec.txn == open_txn) {
+          open_txn = 0;
+          open_ops.clear();
+        }
+        break;
+      case WalRecordType::kCheckpoint:
+        break;
+    }
+  }
+
+  // Undo the loser transaction (at most one, by the single-writer rule)
+  // using the logged before-images, newest first.
+  if (open_txn != 0 && !open_ops.empty()) {
+    stats_.undone_loser_txns++;
+    for (auto it = open_ops.rbegin(); it != open_ops.rend(); ++it) {
+      const WalRecord& rec = **it;
+      BTree* t = TreeById(rec.tree);
+      if (t == nullptr) continue;
+      MutationCtx m{rec.lsn, 0, nullptr};
+      if (rec.type == WalRecordType::kPut) {
+        if (rec.has_old) {
+          DURASSD_RETURN_IF_ERROR(t->Put(io, m, rec.key, rec.old_value));
+        } else {
+          Status s = t->Delete(io, m, rec.key);
+          if (!s.ok() && !s.IsNotFound()) return s;
+        }
+      } else {  // kDelete
+        DURASSD_RETURN_IF_ERROR(t->Put(io, m, rec.key, rec.old_value));
+      }
+      SyncRootPointers();
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Recover(IoContext& io) {
+  in_recovery_ = true;
+
+  // 1. Repair torn home pages from the double-write region.
+  DURASSD_RETURN_IF_ERROR(RepairTornPages(io));
+
+  // 2. Load the master record (meta page). An unreadable meta page on a
+  //    fresh database (never checkpointed) means "replay everything from
+  //    LSN 0, generation 1, over an empty database".
+  Lsn ckpt_lsn = 0;
+  uint32_t gen = 1;
+  {
+    std::string raw;
+    const SimFile::IoResult r =
+        data_file_->Read(io.now, 0, opts_.page_size, &raw);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    raw.resize(opts_.page_size, '\0');
+    Page meta(opts_.page_size);
+    meta.CopyFrom(raw);
+    const bool all_zero = raw.find_first_not_of('\0') == std::string::npos;
+    if (meta.header()->magic == Page::kMagic && meta.VerifyChecksum() &&
+        meta.type() == PageType::kMeta && meta.nslots() >= 1) {
+      Slice cell = meta.CellAt(0);
+      cell.remove_prefix(2);  // Cell length.
+      DURASSD_RETURN_IF_ERROR(ParseMeta(cell, &ckpt_lsn, &gen));
+    } else if (!all_zero) {
+      // A master record was written at some point but is now unreadable —
+      // a torn meta page with no intact double-write copy. Unrecoverable.
+      return Status::Corruption("master record (meta page) is torn");
+    } else if (wal_file_->size() == 0) {
+      // Nothing was ever logged: clean fresh database.
+      in_recovery_ = false;
+      return Initialize(io);
+    }
+    // else: crashed before the first checkpoint — replay everything from
+    // LSN 0, generation 1, over an empty database (defaults above).
+  }
+
+  // 3. Replay the durable log prefix.
+  std::vector<WalRecord> records;
+  DURASSD_RETURN_IF_ERROR(wal_->ReadFrom(io, ckpt_lsn, gen, &records));
+  const Lsn resume_lsn =
+      records.empty() ? ckpt_lsn
+                      : records.back().lsn + 12 +
+                            records.back().Encode().size();
+  DURASSD_RETURN_IF_ERROR(ReplayRecords(io, records));
+  wal_->ResumeAt(resume_lsn, gen);
+
+  in_recovery_ = false;
+
+  // 4. Checkpoint immediately: truncates the replayed log and publishes a
+  //    clean master record.
+  return Checkpoint(io);
+}
+
+}  // namespace durassd

@@ -1,0 +1,22 @@
+#ifndef DURASSD_DB_IO_CONTEXT_H_
+#define DURASSD_DB_IO_CONTEXT_H_
+
+#include "common/types.h"
+
+namespace durassd {
+
+/// Carries a logical client's virtual clock through engine calls: every
+/// blocking step (page read, eviction write, fsync) advances `now` to its
+/// completion time, so the caller's transaction latency is the sum of the
+/// real critical path, contention included.
+struct IoContext {
+  SimTime now = 0;
+
+  void AdvanceTo(SimTime t) {
+    if (t > now) now = t;
+  }
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_DB_IO_CONTEXT_H_

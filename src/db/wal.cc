@@ -1,0 +1,140 @@
+#include "db/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace durassd {
+
+std::string WalRecord::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  PutFixed64(&out, txn);
+  PutFixed32(&out, tree);
+  PutLengthPrefixed(&out, key);
+  PutLengthPrefixed(&out, value);
+  out.push_back(has_old ? 1 : 0);
+  PutLengthPrefixed(&out, old_value);
+  return out;
+}
+
+bool WalRecord::Decode(Slice payload, WalRecord* out) {
+  if (payload.empty()) return false;
+  out->type = static_cast<WalRecordType>(payload[0]);
+  payload.remove_prefix(1);
+  uint64_t txn = 0;
+  uint32_t tree = 0;
+  Slice key, value, old_value;
+  if (!GetFixed64(&payload, &txn)) return false;
+  if (!GetFixed32(&payload, &tree)) return false;
+  if (!GetLengthPrefixed(&payload, &key)) return false;
+  if (!GetLengthPrefixed(&payload, &value)) return false;
+  if (payload.empty()) return false;
+  out->has_old = payload[0] != 0;
+  payload.remove_prefix(1);
+  if (!GetLengthPrefixed(&payload, &old_value)) return false;
+  out->txn = txn;
+  out->tree = tree;
+  out->key = key.ToString();
+  out->value = value.ToString();
+  out->old_value = old_value.ToString();
+  return true;
+}
+
+Wal::Wal(SimFile* file, Options options) : file_(file), opts_(options) {}
+
+namespace {
+constexpr uint32_t kFrameHeader = 12;  // [len u32][gen u32][crc u32]
+}  // namespace
+
+Lsn Wal::Append(const WalRecord& record) {
+  const std::string payload = record.Encode();
+  const Lsn lsn = next_lsn_;
+  PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&tail_, generation_);
+  PutFixed32(&tail_, Crc32c(payload.data(), payload.size()));
+  tail_.append(payload);
+  next_lsn_ += kFrameHeader + payload.size();
+  stats_.appends++;
+  return lsn;
+}
+
+Status Wal::WriteOut(IoContext& io) {
+  if (tail_.empty()) return Status::OK();
+  const uint64_t offset = written_lsn_;
+  const SimFile::IoResult r = file_->Write(io.now, offset, tail_);
+  DURASSD_RETURN_IF_ERROR(r.status);
+  io.AdvanceTo(r.done);
+  stats_.bytes_written += tail_.size();
+  written_lsn_ = next_lsn_;
+  tail_.clear();
+  return Status::OK();
+}
+
+Status Wal::SyncTo(IoContext& io, Lsn lsn) {
+  // Group commit: if a device flush already in flight covers this LSN,
+  // ride it instead of issuing another (InnoDB's group commit).
+  if (lsn < pending_sync_lsn_ && io.now < pending_sync_done_) {
+    io.AdvanceTo(pending_sync_done_);
+    stats_.group_rides++;
+    return Status::OK();
+  }
+  if (lsn > written_lsn_ || !tail_.empty()) {
+    DURASSD_RETURN_IF_ERROR(WriteOut(io));
+  }
+  const SimFile::IoResult r = file_->Sync(io.now);
+  DURASSD_RETURN_IF_ERROR(r.status);
+  pending_sync_lsn_ = written_lsn_;
+  pending_sync_done_ = r.done;
+  io.AdvanceTo(r.done);
+  stats_.syncs++;
+  return Status::OK();
+}
+
+Status Wal::EnsureWritten(IoContext& io, Lsn lsn) {
+  if (lsn >= written_lsn_) {
+    return WriteOut(io);
+  }
+  return Status::OK();
+}
+
+Status Wal::ReadFrom(IoContext& io, Lsn from, uint32_t gen,
+                     std::vector<WalRecord>* out) {
+  out->clear();
+  Lsn pos = from;
+  const Lsn end = file_->size();
+  while (pos + kFrameHeader <= end) {
+    std::string framing;
+    SimFile::IoResult r = file_->Read(io.now, pos, kFrameHeader, &framing);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    Slice f(framing);
+    uint32_t len = 0, frame_gen = 0, crc = 0;
+    GetFixed32(&f, &len);
+    GetFixed32(&f, &frame_gen);
+    GetFixed32(&f, &crc);
+    if (len == 0 || frame_gen != gen || pos + kFrameHeader + len > end) {
+      break;  // Torn tail or stale generation.
+    }
+    std::string payload;
+    r = file_->Read(io.now, pos + kFrameHeader, len, &payload);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    if (Crc32c(payload.data(), payload.size()) != crc) break;  // Torn tail.
+    WalRecord rec;
+    if (!WalRecord::Decode(payload, &rec)) break;
+    rec.lsn = pos;
+    out->push_back(std::move(rec));
+    pos += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+void Wal::ResetTo(Lsn lsn, uint32_t gen) {
+  next_lsn_ = lsn;
+  written_lsn_ = lsn;
+  last_checkpoint_lsn_ = lsn;
+  generation_ = gen;
+  tail_.clear();
+}
+
+}  // namespace durassd

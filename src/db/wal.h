@@ -1,0 +1,120 @@
+#ifndef DURASSD_DB_WAL_H_
+#define DURASSD_DB_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "db/io_context.h"
+#include "host/sim_file.h"
+
+namespace durassd {
+
+/// Logical redo/undo record kinds. minibase logs logical operations with
+/// before-images, replays them deterministically from a sharp checkpoint,
+/// and undoes loser transactions at the end of recovery (ARIES-lite).
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kPut = 2,      ///< {txn, tree, key, new_value, has_old, old_value}
+  kDelete = 3,   ///< {txn, tree, key, has_old, old_value}
+  kCommit = 4,
+  kAbort = 5,    ///< Written after the in-memory rollback completed.
+  kCreateTree = 6,  ///< {tree_id, name}
+  kCheckpoint = 7,
+};
+
+struct WalRecord {
+  WalRecordType type;
+  TxnId txn = 0;
+  uint32_t tree = 0;
+  std::string key;
+  std::string value;      ///< New value for kPut; name for kCreateTree.
+  bool has_old = false;
+  std::string old_value;  ///< Before-image for undo.
+  Lsn lsn = kInvalidLsn;  ///< Filled by the reader.
+
+  std::string Encode() const;
+  static bool Decode(Slice payload, WalRecord* out);
+};
+
+/// Write-ahead log over a SimFile: an in-memory tail buffer, length+CRC
+/// framing, byte-offset LSNs, and group flushing. Commit durability is
+/// Append + Sync (fsync — which issues FLUSH CACHE only when the host has
+/// write barriers on, the knob the paper's Fig. 5/Table 4/Table 5 sweep).
+class Wal {
+ public:
+  struct Options {
+    /// Recycle the log by checkpointing before it outgrows this.
+    uint64_t soft_limit_bytes = 64 * kMiB;
+  };
+
+  Wal(SimFile* file, Options options);
+
+  /// Appends to the in-memory tail; returns the record's LSN.
+  Lsn Append(const WalRecord& record);
+
+  /// Writes the buffered tail to the log file (no fsync).
+  Status WriteOut(IoContext& io);
+  /// WriteOut + fsync: the commit path.
+  Status SyncTo(IoContext& io, Lsn lsn);
+  /// Ensures records up to `lsn` are at least written to the device (the
+  /// WAL rule before flushing a data page whose page-LSN is `lsn`).
+  Status EnsureWritten(IoContext& io, Lsn lsn);
+
+  Lsn next_lsn() const { return next_lsn_; }
+  Lsn written_lsn() const { return written_lsn_; }
+  uint32_t generation() const { return generation_; }
+  uint64_t bytes_since_checkpoint() const {
+    return next_lsn_ - last_checkpoint_lsn_;
+  }
+  void NoteCheckpoint(Lsn lsn) { last_checkpoint_lsn_ = lsn; }
+
+  /// Reads every well-formed record of generation `gen` starting at `from`
+  /// (stops at the first torn/invalid/foreign-generation frame — the
+  /// durable prefix). Scans the file itself, so it works on a freshly
+  /// opened Wal after a crash.
+  Status ReadFrom(IoContext& io, Lsn from, uint32_t gen,
+                  std::vector<WalRecord>* out);
+
+  /// Logically truncates the log: subsequent appends start at `lsn` with a
+  /// new generation, making any stale frames beyond unreadable. (Space
+  /// handling: real systems recycle segment files — same I/O pattern.)
+  void ResetTo(Lsn lsn, uint32_t gen);
+
+  /// Positions the log for appending after recovery.
+  void ResumeAt(Lsn lsn, uint32_t gen) {
+    next_lsn_ = lsn;
+    written_lsn_ = lsn;
+    generation_ = gen;
+    tail_.clear();
+  }
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t syncs = 0;
+    uint64_t group_rides = 0;  ///< Commits that rode another commit's sync.
+    uint64_t bytes_written = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  SimFile* file_;
+  Options opts_;
+  Lsn next_lsn_ = 0;     ///< LSN of the next byte to be appended.
+  Lsn written_lsn_ = 0;  ///< Everything below this is in the file.
+  Lsn last_checkpoint_lsn_ = 0;
+  uint32_t generation_ = 1;
+  /// Group-commit window: the device sync completing at `done` covers
+  /// records below `lsn`.
+  Lsn pending_sync_lsn_ = 0;
+  SimTime pending_sync_done_ = 0;
+  std::string tail_;     ///< Appended but not yet written.
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_DB_WAL_H_

@@ -1,0 +1,220 @@
+#include "flash/flash_array.h"
+
+#include <algorithm>
+
+namespace durassd {
+
+FlashArray::FlashArray(Options options) : opts_(std::move(options)) {
+  const FlashGeometry& g = opts_.geometry;
+  planes_.resize(g.total_planes());
+  for (auto& plane : planes_) {
+    plane.blocks.resize(g.blocks_per_plane);
+  }
+  channel_busy_.assign(g.channels, 0);
+  states_.assign(g.total_pages(), PageState::kFree);
+  torn_.assign(g.total_pages(), false);
+}
+
+SimTime FlashArray::ReserveChannel(uint32_t channel, SimTime t) {
+  const SimTime start = std::max(t, channel_busy_[channel]);
+  channel_busy_[channel] = start + opts_.geometry.channel_transfer_time();
+  return channel_busy_[channel];
+}
+
+SimTime FlashArray::ReadPage(SimTime now, Ppn ppn, std::string* out) {
+  const FlashGeometry& g = opts_.geometry;
+  max_seen_time_ = std::max(max_seen_time_, now);
+  stats_.reads++;
+
+  Plane& plane = planes_[g.PlaneOf(ppn)];
+  // Cell-array sense, then transfer the page register over the channel.
+  const SimTime sense_start = std::max(now, plane.busy_until);
+  const SimTime sense_done = sense_start + g.read_latency;
+  plane.busy_until = sense_done;
+  const SimTime done = ReserveChannel(g.ChannelOf(ppn), sense_done);
+
+  if (out != nullptr) {
+    auto it = data_.find(ppn);
+    if (it != data_.end()) {
+      *out = it->second;
+    } else {
+      out->assign(g.page_size, '\0');
+    }
+  }
+  return done;
+}
+
+Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
+                               SimTime* done) {
+  const FlashGeometry& g = opts_.geometry;
+  max_seen_time_ = std::max(max_seen_time_, now);
+  PruneInFlight(now);
+
+  if (ppn >= states_.size()) {
+    return Status::InvalidArgument("ppn out of range");
+  }
+  if (states_[ppn] != PageState::kFree) {
+    return Status::IoError("program to non-erased page");
+  }
+  Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
+  if (g.PageOf(ppn) != block.next_page) {
+    return Status::IoError("out-of-order program within block");
+  }
+  if (data.size() > g.page_size) {
+    return Status::InvalidArgument("data larger than page");
+  }
+
+  stats_.programs++;
+  Plane& plane = planes_[g.PlaneOf(ppn)];
+  // Transfer host->page-register over the channel, then program the cells.
+  const SimTime xfer_done = ReserveChannel(g.ChannelOf(ppn), now);
+  const SimTime prog_start = std::max(xfer_done, plane.busy_until);
+  const SimTime prog_done = prog_start + g.program_latency;
+  plane.busy_until = prog_done;
+
+  states_[ppn] = PageState::kValid;
+  torn_[ppn] = false;
+  block.next_page++;
+  block.valid_count++;
+  if (opts_.store_data) {
+    std::string& stored = data_[ppn];
+    stored.assign(data.data(), data.size());
+    stored.resize(g.page_size, '\0');
+  }
+  inflight_programs_.push_back({ppn, prog_start, prog_done});
+  *done = prog_done;
+  return Status::OK();
+}
+
+SimTime FlashArray::EraseBlock(SimTime now, uint32_t plane_idx,
+                               uint32_t block_idx) {
+  const FlashGeometry& g = opts_.geometry;
+  max_seen_time_ = std::max(max_seen_time_, now);
+  PruneInFlight(now);
+  stats_.erases++;
+
+  Plane& plane = planes_[plane_idx];
+  Block& block = plane.blocks[block_idx];
+  const SimTime start = std::max(now, plane.busy_until);
+  const SimTime done = start + g.erase_latency;
+  plane.busy_until = done;
+
+  const Ppn first = g.MakePpn(plane_idx, block_idx, 0);
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    states_[first + p] = PageState::kFree;
+    torn_[first + p] = false;
+    data_.erase(first + p);
+  }
+  block.erase_count++;
+  block.next_page = 0;
+  block.valid_count = 0;
+  inflight_erases_.push_back({plane_idx, block_idx, start, done});
+  return done;
+}
+
+void FlashArray::MarkInvalid(Ppn ppn) {
+  if (states_[ppn] == PageState::kValid) {
+    states_[ppn] = PageState::kInvalid;
+    const FlashGeometry& g = opts_.geometry;
+    Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
+    if (block.valid_count > 0) block.valid_count--;
+  }
+}
+
+void FlashArray::RevalidatePage(Ppn ppn) {
+  if (states_[ppn] == PageState::kInvalid) {
+    states_[ppn] = PageState::kValid;
+    const FlashGeometry& g = opts_.geometry;
+    BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn)).valid_count++;
+  }
+}
+
+bool FlashArray::IsTorn(Ppn ppn) const { return torn_[ppn]; }
+
+uint32_t FlashArray::erase_count(uint32_t plane, uint32_t block) const {
+  return BlockAt(plane, block).erase_count;
+}
+
+uint32_t FlashArray::valid_pages_in_block(uint32_t plane,
+                                          uint32_t block) const {
+  return BlockAt(plane, block).valid_count;
+}
+
+uint32_t FlashArray::next_program_page(uint32_t plane, uint32_t block) const {
+  return BlockAt(plane, block).next_page;
+}
+
+void FlashArray::PruneInFlight(SimTime now) {
+  // Keep the in-flight lists short: entries whose completion precedes every
+  // possible future power-cut instant (<= max_seen_time_) can never be torn.
+  if (inflight_programs_.size() > 4096) {
+    std::erase_if(inflight_programs_, [this](const InFlightProgram& p) {
+      return p.done <= max_seen_time_;
+    });
+  }
+  if (inflight_erases_.size() > 1024) {
+    std::erase_if(inflight_erases_, [this](const InFlightErase& e) {
+      return e.done <= max_seen_time_;
+    });
+  }
+  (void)now;
+}
+
+void FlashArray::PowerCut(SimTime t) {
+  const FlashGeometry& g = opts_.geometry;
+  for (const InFlightProgram& p : inflight_programs_) {
+    if (p.done <= t) continue;  // Finished before the cut.
+    Block& block = BlockAt(g.PlaneOf(p.ppn), g.BlockOf(p.ppn));
+    if (p.start >= t) {
+      // Never started: the page is still erased.
+      states_[p.ppn] = PageState::kFree;
+      data_.erase(p.ppn);
+      if (block.valid_count > 0) block.valid_count--;
+      // The in-order cursor stays where it is; the FTL will treat this
+      // block's remaining pages as unusable until erased, which is what a
+      // real controller does after an unclean shutdown.
+    } else {
+      // Interrupted mid-program: a shorn write. Cells are programmed in
+      // interleaved passes, so only a prefix (about a quarter) of the page
+      // holds trustworthy data; every logical sector sharing the page is
+      // torn. The rest reads as erased.
+      torn_[p.ppn] = true;
+      stats_.torn_pages++;
+      if (opts_.store_data) {
+        auto it = data_.find(p.ppn);
+        if (it != data_.end()) {
+          std::string& bytes = it->second;
+          for (size_t i = bytes.size() / 4; i < bytes.size(); ++i) {
+            bytes[i] = '\0';
+          }
+        }
+      }
+    }
+  }
+  inflight_programs_.clear();
+
+  for (const InFlightErase& e : inflight_erases_) {
+    if (e.done <= t) continue;
+    // An interrupted erase leaves the block with indeterminate contents;
+    // mark every page invalid (and torn) so nothing trusts it until a clean
+    // re-erase.
+    Block& block = BlockAt(e.plane, e.block);
+    const Ppn first = g.MakePpn(e.plane, e.block, 0);
+    for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+      states_[first + p] = PageState::kInvalid;
+      torn_[first + p] = true;
+      data_.erase(first + p);
+    }
+    block.valid_count = 0;
+    block.next_page = g.pages_per_block;  // Unusable until erased again.
+  }
+  inflight_erases_.clear();
+
+  // Plane/channel reservations collapse: after power is restored the device
+  // starts idle.
+  for (auto& plane : planes_) plane.busy_until = 0;
+  std::fill(channel_busy_.begin(), channel_busy_.end(), 0);
+  max_seen_time_ = 0;
+}
+
+}  // namespace durassd

@@ -1,0 +1,149 @@
+#ifndef DURASSD_FLASH_FLASH_ARRAY_H_
+#define DURASSD_FLASH_FLASH_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "flash/geometry.h"
+
+namespace durassd {
+
+/// State of one physical NAND page.
+enum class PageState : uint8_t {
+  kFree,     ///< Erased, programmable.
+  kValid,    ///< Programmed and referenced by the mapping table.
+  kInvalid,  ///< Programmed but superseded; reclaimable by GC.
+};
+
+/// The NAND flash array: channels x packages x chips x planes of blocks of
+/// pages. Models:
+///   - erase-before-program and in-order programming within a block,
+///   - per-plane and per-channel occupancy for latency/parallelism,
+///   - real byte storage (optional, for correctness tests),
+///   - torn pages when power is cut mid-program (shorn writes),
+///   - per-block wear counters.
+///
+/// All operations take the caller's virtual issue time and return the
+/// completion time; the array never blocks.
+class FlashArray {
+ public:
+  struct Options {
+    FlashGeometry geometry;
+    /// When false, page contents are not stored (timing-only mode for large
+    /// benchmarks); reads return zeros.
+    bool store_data = true;
+  };
+
+  explicit FlashArray(Options options);
+
+  FlashArray(const FlashArray&) = delete;
+  FlashArray& operator=(const FlashArray&) = delete;
+
+  const FlashGeometry& geometry() const { return opts_.geometry; }
+
+  /// Reads a physical page. `out` may be nullptr (timing only); otherwise it
+  /// is resized to page_size. Reading a free page yields zeros. Returns the
+  /// virtual completion time. A torn page is returned as-is (the half-old
+  /// half-new bytes); callers detect it via checksums, exactly like a host.
+  SimTime ReadPage(SimTime now, Ppn ppn, std::string* out);
+
+  /// Programs an erased page. Enforces NAND constraints: the page must be
+  /// free and must be the next unwritten page of its block (in-order
+  /// programming). `done` receives the completion time.
+  Status ProgramPage(SimTime now, Ppn ppn, Slice data, SimTime* done);
+
+  /// Erases a whole block, returning all its pages to kFree.
+  SimTime EraseBlock(SimTime now, uint32_t plane, uint32_t block);
+
+  /// Marks a valid page invalid (superseded); bookkeeping only, free of cost.
+  void MarkInvalid(Ppn ppn);
+
+  /// Reverses MarkInvalid when a power-cut rollback resurrects the persisted
+  /// mapping of a superseded page (the FTL's lost-write model).
+  void RevalidatePage(Ppn ppn);
+
+  PageState page_state(Ppn ppn) const { return states_[ppn]; }
+  bool IsTorn(Ppn ppn) const;
+  uint32_t erase_count(uint32_t plane, uint32_t block) const;
+  uint32_t valid_pages_in_block(uint32_t plane, uint32_t block) const;
+  uint32_t next_program_page(uint32_t plane, uint32_t block) const;
+
+  /// Virtual time at which the given plane becomes idle.
+  SimTime plane_busy_until(uint32_t plane) const {
+    return planes_[plane].busy_until;
+  }
+
+  /// Cuts power at time `t`. Any program still in flight at `t` leaves its
+  /// page torn (only the first quarter of the new bytes survive); any
+  /// program not yet begun is rolled back to kFree. In-flight erases leave
+  /// the block in an unusable state until re-erased.
+  void PowerCut(SimTime t);
+
+  /// Declares all in-flight operations safely completed. Used when recovery
+  /// runs under capacitor protection (Sec. 3.4.2: capacitors are recharged
+  /// before recovery so a nested power failure cannot shear the replay).
+  void QuiesceInFlight() {
+    inflight_programs_.clear();
+    inflight_erases_.clear();
+  }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t programs = 0;
+    uint64_t erases = 0;
+    uint64_t torn_pages = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    uint32_t erase_count = 0;
+    uint32_t next_page = 0;   ///< In-order programming cursor.
+    uint32_t valid_count = 0;
+  };
+  struct Plane {
+    SimTime busy_until = 0;
+    std::vector<Block> blocks;
+  };
+  struct InFlightProgram {
+    Ppn ppn;
+    SimTime start;
+    SimTime done;
+  };
+  struct InFlightErase {
+    uint32_t plane;
+    uint32_t block;
+    SimTime start;
+    SimTime done;
+  };
+
+  Block& BlockAt(uint32_t plane, uint32_t block) {
+    return planes_[plane].blocks[block];
+  }
+  const Block& BlockAt(uint32_t plane, uint32_t block) const {
+    return planes_[plane].blocks[block];
+  }
+  /// Reserves the channel for one page transfer starting no earlier than t.
+  SimTime ReserveChannel(uint32_t channel, SimTime t);
+  void PruneInFlight(SimTime now);
+
+  Options opts_;
+  std::vector<Plane> planes_;
+  std::vector<SimTime> channel_busy_;
+  std::vector<PageState> states_;
+  std::vector<bool> torn_;
+  std::unordered_map<Ppn, std::string> data_;
+  std::vector<InFlightProgram> inflight_programs_;
+  std::vector<InFlightErase> inflight_erases_;
+  SimTime max_seen_time_ = 0;
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_FLASH_FLASH_ARRAY_H_

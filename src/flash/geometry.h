@@ -1,0 +1,87 @@
+#ifndef DURASSD_FLASH_GEOMETRY_H_
+#define DURASSD_FLASH_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace durassd {
+
+/// Physical organization and timing of a NAND flash array.
+///
+/// The default mirrors the paper's running example (Sec. 2.3): 8 channels,
+/// 4 packages per channel, 4 chips per package, 2 planes per chip — a
+/// theoretical parallelism of 256 — with 8KB physical pages (Sec. 3.1.2:
+/// DuraSSD emulates 4KB logical pages over 8KB NAND pages).
+struct FlashGeometry {
+  uint32_t channels = 8;
+  uint32_t packages_per_channel = 4;
+  uint32_t chips_per_package = 4;
+  uint32_t planes_per_chip = 2;
+  uint32_t blocks_per_plane = 96;
+  uint32_t pages_per_block = 64;
+  uint32_t page_size = 8 * kKiB;  ///< Physical NAND page size.
+
+  // --- Timing (typical enterprise MLC of the paper's era) ---
+  SimTime read_latency = 60 * kMicrosecond;      ///< tR: cell array -> page reg
+  SimTime program_latency = 800 * kMicrosecond;  ///< tPROG
+  SimTime erase_latency = 3 * kMillisecond;      ///< tBERS
+  /// Channel transfer rate: ~400 MB/s ONFI-class bus => 2.5 ns per byte.
+  double channel_ns_per_byte = 2.5;
+
+  uint32_t total_planes() const {
+    return channels * packages_per_channel * chips_per_package *
+           planes_per_chip;
+  }
+  uint64_t pages_per_plane() const {
+    return static_cast<uint64_t>(blocks_per_plane) * pages_per_block;
+  }
+  uint64_t total_pages() const {
+    return static_cast<uint64_t>(total_planes()) * pages_per_plane();
+  }
+  uint64_t total_bytes() const { return total_pages() * page_size; }
+  SimTime channel_transfer_time() const {
+    return static_cast<SimTime>(channel_ns_per_byte * page_size);
+  }
+
+  // --- PPN encoding: ppn = (plane * blocks_per_plane + block)
+  //                         * pages_per_block + page ---
+  Ppn MakePpn(uint32_t plane, uint32_t block, uint32_t page) const {
+    return (static_cast<uint64_t>(plane) * blocks_per_plane + block) *
+               pages_per_block +
+           page;
+  }
+  uint32_t PlaneOf(Ppn ppn) const {
+    return static_cast<uint32_t>(ppn / pages_per_plane());
+  }
+  uint32_t BlockOf(Ppn ppn) const {
+    return static_cast<uint32_t>((ppn / pages_per_block) % blocks_per_plane);
+  }
+  uint32_t PageOf(Ppn ppn) const {
+    return static_cast<uint32_t>(ppn % pages_per_block);
+  }
+  uint32_t ChannelOf(Ppn ppn) const {
+    // Planes are numbered channel-major, so dividing by planes-per-channel
+    // recovers the channel.
+    const uint32_t planes_per_channel =
+        packages_per_channel * chips_per_package * planes_per_chip;
+    return PlaneOf(ppn) / planes_per_channel;
+  }
+
+  /// A tiny geometry for unit tests: 2 channels x 1 x 1 x 2 planes,
+  /// 8 blocks x 8 pages of 8KB = 4 planes, 256 pages, 2 MiB.
+  static FlashGeometry Tiny() {
+    FlashGeometry g;
+    g.channels = 2;
+    g.packages_per_channel = 1;
+    g.chips_per_package = 1;
+    g.planes_per_chip = 2;
+    g.blocks_per_plane = 8;
+    g.pages_per_block = 8;
+    return g;
+  }
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_FLASH_GEOMETRY_H_

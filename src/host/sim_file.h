@@ -1,0 +1,135 @@
+#ifndef DURASSD_HOST_SIM_FILE_H_
+#define DURASSD_HOST_SIM_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "host/block_device.h"
+
+namespace durassd {
+
+class SimFileSystem;
+
+/// A file mapped onto device sectors (extent lists, grown in chunks).
+/// Models O_DIRECT semantics: no host page cache, every Write goes to the
+/// device; partial-sector writes are read-modify-write. Sync() performs the
+/// fsync of Fig. 2: journal (metadata) write, then FLUSH CACHE when write
+/// barriers are enabled.
+class SimFile {
+ public:
+  struct IoResult {
+    Status status;
+    SimTime done = 0;
+  };
+
+  SimFile(const SimFile&) = delete;
+  SimFile& operator=(const SimFile&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint64_t size() const { return size_; }
+
+  IoResult Write(SimTime now, uint64_t offset, Slice data);
+  IoResult Read(SimTime now, uint64_t offset, uint64_t len, std::string* out);
+  /// fsync(2): persists data + metadata. With barriers on, issues FLUSH
+  /// CACHE to the device; with barriers off (the DuraSSD deployment mode),
+  /// only the journal write happens and the call returns quickly.
+  IoResult Sync(SimTime now);
+  /// fdatasync-style sync that skips the metadata/journal write.
+  IoResult DataSync(SimTime now);
+
+  /// Pre-sizes the file (like fallocate); useful for log files.
+  Status Allocate(uint64_t new_size);
+  Status Truncate(uint64_t new_size);
+
+  /// True when a size/extent change has not been journaled yet.
+  bool metadata_dirty() const { return metadata_dirty_; }
+
+ private:
+  friend class SimFileSystem;
+  SimFile(SimFileSystem* fs, std::string name) : fs_(fs), name_(std::move(name)) {}
+
+  /// Device LPN backing byte `offset`, growing the extent list on demand.
+  StatusOr<Lpn> MapOffset(uint64_t offset, bool grow);
+
+  SimFileSystem* fs_;
+  std::string name_;
+  uint64_t size_ = 0;
+  bool metadata_dirty_ = true;  ///< Creation itself is a metadata change.
+  /// Chunked extents: chunk i covers file sectors
+  /// [i * chunk_sectors, (i+1) * chunk_sectors).
+  std::vector<Lpn> chunks_;
+};
+
+/// Minimal file system over a BlockDevice: bump allocation in fixed-size
+/// chunks, a journal area for fsync metadata writes, and a write-barrier
+/// switch (the nobarrier mount option the paper toggles).
+///
+/// Simplification vs a real FS: the namespace and extent maps live in host
+/// memory and survive simulated reboots (a journaling FS keeps its metadata
+/// consistent; we do not model FS-metadata loss — the paper's experiments
+/// never involve it).
+class SimFileSystem {
+ public:
+  struct Options {
+    bool write_barriers = true;
+    /// Journal sectors written per fsync (ext4 ~ one descriptor+commit; we
+    /// default to 1 like a small ordered-journal transaction).
+    uint32_t journal_sectors_per_sync = 1;
+    /// Extent chunk size in sectors (1024 x 4KB = 4 MiB).
+    uint32_t chunk_sectors = 1024;
+    /// Sectors reserved at LPN 0 for the journal ring.
+    uint32_t journal_area_sectors = 256;
+  };
+
+  SimFileSystem(BlockDevice* device, Options options);
+
+  SimFileSystem(const SimFileSystem&) = delete;
+  SimFileSystem& operator=(const SimFileSystem&) = delete;
+
+  /// Opens (creating if absent) a file.
+  SimFile* Open(const std::string& name);
+  bool Exists(const std::string& name) const;
+  Status Remove(const std::string& name);
+  /// Atomic rename (metadata-only, like rename(2) on a journaling FS).
+  /// Fails if `to` exists.
+  Status Rename(const std::string& from, const std::string& to);
+
+  BlockDevice* device() { return device_; }
+  const Options& options() const { return opts_; }
+  void set_write_barriers(bool on) { opts_.write_barriers = on; }
+  uint64_t allocated_sectors() const { return next_lpn_; }
+
+  struct Stats {
+    uint64_t syncs = 0;
+    uint64_t batched_syncs = 0;  ///< fsyncs that rode another's commit.
+    uint64_t journal_writes = 0;
+    uint64_t flush_cmds = 0;  ///< FLUSH CACHE actually sent to the device.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class SimFile;
+
+  StatusOr<Lpn> AllocateChunk();
+  SimFile::IoResult SyncInternal(SimTime now, SimFile* file,
+                                 bool write_journal);
+
+  BlockDevice* device_;
+  Options opts_;
+  uint64_t next_lpn_;
+  uint32_t journal_cursor_ = 0;
+  SimTime last_sync_start_ = -1;
+  SimTime last_sync_done_ = -1;
+  std::unordered_map<std::string, std::unique_ptr<SimFile>> files_;
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_HOST_SIM_FILE_H_

@@ -1,0 +1,519 @@
+#include "kv/kvstore.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace durassd {
+
+namespace {
+constexpr uint32_t kHeaderMagic = 0xC0C4B453;
+constexpr uint32_t kBlockSize = 4 * kKiB;
+constexpr uint8_t kChunkDoc = 1;
+constexpr uint8_t kChunkNode = 2;
+// Chunk framing: [total_len u32][crc u32][type u8][body].
+constexpr uint32_t kChunkOverhead = 9;
+}  // namespace
+
+uint32_t KvStore::Node::SerializedSize() const {
+  uint32_t size = kChunkOverhead + 3;  // count u16 + leaf u8.
+  for (const Entry& e : entries) {
+    size += 2 + 8 + 4 + static_cast<uint32_t>(e.key.size());
+  }
+  return size;
+}
+
+KvStore::KvStore(SimFileSystem* fs, SimFile* file, std::string name,
+                 Options options)
+    : fs_(fs), file_(file), name_(std::move(name)), opts_(options) {}
+
+StatusOr<std::unique_ptr<KvStore>> KvStore::Open(IoContext& io,
+                                                 SimFileSystem* fs,
+                                                 const std::string& name,
+                                                 Options options) {
+  const bool existing = fs->Exists(name);
+  SimFile* file = fs->Open(name);
+  auto store = std::unique_ptr<KvStore>(
+      new KvStore(fs, file, name, options));
+  if (existing && file->size() > 0) {
+    DURASSD_RETURN_IF_ERROR(store->Recover(io));
+  }
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk encoding
+// ---------------------------------------------------------------------------
+
+uint64_t KvStore::AppendChunk(uint8_t type, Slice body, uint32_t* total_len) {
+  const uint64_t off = tail_base_ + tail_.size();
+  std::string framed;
+  framed.push_back(static_cast<char>(type));
+  framed.append(body.data(), body.size());
+  PutFixed32(&tail_, static_cast<uint32_t>(framed.size()) + 8);
+  PutFixed32(&tail_, Crc32c(framed.data(), framed.size()));
+  tail_.append(framed);
+  *total_len = static_cast<uint32_t>(framed.size()) + 8;
+  append_offset_ = tail_base_ + tail_.size();
+  return off;
+}
+
+KvStore::NodeRef KvStore::AppendNode(const Node& node) {
+  std::string body;
+  body.push_back(node.leaf ? 1 : 0);
+  PutFixed32(&body, static_cast<uint32_t>(node.entries.size()));
+  for (const Entry& e : node.entries) {
+    PutLengthPrefixed(&body, e.key);
+    PutFixed64(&body, e.off);
+    PutFixed32(&body, e.len);
+  }
+  uint32_t len = 0;
+  const uint64_t off = AppendChunk(kChunkNode, body, &len);
+  stats_.node_appends++;
+  node_cache_[off] = node;
+  if (node_cache_.size() > 4096) {
+    // Immutable cache: evicting the oldest offsets is safe and cheap.
+    node_cache_.erase(node_cache_.begin(),
+                      std::next(node_cache_.begin(), 1024));
+  }
+  return NodeRef{off, len};
+}
+
+uint64_t KvStore::AppendDoc(Slice key, Slice value, uint32_t* len) {
+  std::string body;
+  PutLengthPrefixed(&body, key);
+  PutLengthPrefixed(&body, value);
+  const uint64_t off = AppendChunk(kChunkDoc, body, len);
+  stats_.doc_appends++;
+  return off;
+}
+
+Status KvStore::LoadNode(IoContext& io, NodeRef ref, Node* out) {
+  auto cached = node_cache_.find(ref.off);
+  if (cached != node_cache_.end()) {
+    *out = cached->second;
+    return Status::OK();
+  }
+  std::string raw;
+  if (ref.off >= tail_base_) {
+    raw = tail_.substr(ref.off - tail_base_, ref.len);
+  } else {
+    const SimFile::IoResult r = file_->Read(io.now, ref.off, ref.len, &raw);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+  }
+  if (raw.size() < kChunkOverhead) return Status::Corruption("short node");
+  Slice in(raw);
+  uint32_t total = 0, crc = 0;
+  GetFixed32(&in, &total);
+  GetFixed32(&in, &crc);
+  if (total != raw.size() ||
+      Crc32c(in.data(), in.size()) != crc) {
+    return Status::Corruption("node chunk crc mismatch");
+  }
+  if (in[0] != kChunkNode) return Status::Corruption("not a node chunk");
+  in.remove_prefix(1);
+
+  Node node;
+  if (in.empty()) return Status::Corruption("node body empty");
+  node.leaf = in[0] != 0;
+  in.remove_prefix(1);
+  uint32_t count = 0;
+  if (!GetFixed32(&in, &count)) return Status::Corruption("node count");
+  node.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice key;
+    uint64_t off = 0;
+    uint32_t len = 0;
+    if (!GetLengthPrefixed(&in, &key) || !GetFixed64(&in, &off) ||
+        !GetFixed32(&in, &len)) {
+      return Status::Corruption("node entry truncated");
+    }
+    node.entries.push_back(Entry{key.ToString(), off, len});
+  }
+  node_cache_[ref.off] = node;
+  *out = std::move(node);
+  return Status::OK();
+}
+
+Status KvStore::LoadDoc(IoContext& io, uint64_t off, uint32_t len,
+                        std::string* key, std::string* value) {
+  std::string raw;
+  if (off >= tail_base_) {
+    raw = tail_.substr(off - tail_base_, len);
+  } else {
+    const SimFile::IoResult r = file_->Read(io.now, off, len, &raw);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+  }
+  if (raw.size() < kChunkOverhead) return Status::Corruption("short doc");
+  Slice in(raw);
+  uint32_t total = 0, crc = 0;
+  GetFixed32(&in, &total);
+  GetFixed32(&in, &crc);
+  if (total != raw.size() || Crc32c(in.data(), in.size()) != crc) {
+    return Status::Corruption("doc chunk crc mismatch");
+  }
+  if (in[0] != kChunkDoc) return Status::Corruption("not a doc chunk");
+  in.remove_prefix(1);
+  Slice k, v;
+  if (!GetLengthPrefixed(&in, &k) || !GetLengthPrefixed(&in, &v)) {
+    return Status::Corruption("doc truncated");
+  }
+  if (key != nullptr) *key = k.ToString();
+  if (value != nullptr) *value = v.ToString();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// COW B+-tree
+// ---------------------------------------------------------------------------
+
+Status KvStore::CowInsertRec(IoContext& io, NodeRef ref, Slice key,
+                             bool is_delete, uint64_t doc_off,
+                             uint32_t doc_len, bool* found, CowResult* out) {
+  Node node;
+  DURASSD_RETURN_IF_ERROR(LoadNode(io, ref, &node));
+
+  if (node.leaf) {
+    auto it = std::lower_bound(
+        node.entries.begin(), node.entries.end(), key,
+        [](const Entry& e, Slice k) { return Slice(e.key).compare(k) < 0; });
+    const bool exact =
+        it != node.entries.end() && Slice(it->key).compare(key) == 0;
+    *found = exact;
+    if (is_delete) {
+      if (!exact) return Status::NotFound();
+      live_bytes_ -= it->len;
+      node.entries.erase(it);
+    } else if (exact) {
+      live_bytes_ += doc_len;
+      live_bytes_ -= it->len;
+      it->off = doc_off;
+      it->len = doc_len;
+    } else {
+      live_bytes_ += doc_len;
+      node.entries.insert(it, Entry{key.ToString(), doc_off, doc_len});
+    }
+  } else {
+    // Find the child to descend into: last entry with key <= target.
+    auto it = std::upper_bound(
+        node.entries.begin(), node.entries.end(), key,
+        [](Slice k, const Entry& e) { return k.compare(e.key) < 0; });
+    if (it == node.entries.begin()) {
+      // Smaller than every separator: descend leftmost (and its key will
+      // be lowered implicitly by the child rewrite).
+      it = node.entries.begin();
+    } else {
+      --it;
+    }
+    CowResult child;
+    DURASSD_RETURN_IF_ERROR(CowInsertRec(io, NodeRef{it->off, it->len}, key,
+                                         is_delete, doc_off, doc_len, found,
+                                         &child));
+    it->off = child.left.off;
+    it->len = child.left.len;
+    // Keep the separator = min key of the child subtree.
+    {
+      Node left_child;
+      DURASSD_RETURN_IF_ERROR(LoadNode(io, child.left, &left_child));
+      if (!left_child.entries.empty()) {
+        it->key = left_child.entries.front().key;
+      }
+    }
+    if (child.split) {
+      node.entries.insert(std::next(it),
+                          Entry{child.sep, child.right.off, child.right.len});
+    }
+  }
+
+  // Serialize (splitting if oversized).
+  if (node.SerializedSize() > opts_.node_size && node.entries.size() >= 2) {
+    Node right;
+    right.leaf = node.leaf;
+    const size_t mid = node.entries.size() / 2;
+    right.entries.assign(node.entries.begin() + mid, node.entries.end());
+    node.entries.resize(mid);
+    out->left = AppendNode(node);
+    out->split = true;
+    out->sep = right.entries.front().key;
+    out->right = AppendNode(right);
+  } else {
+    out->left = AppendNode(node);
+    out->split = false;
+  }
+  return Status::OK();
+}
+
+StatusOr<KvStore::NodeRef> KvStore::CowUpdate(IoContext& io, NodeRef root,
+                                              Slice key, bool is_delete,
+                                              uint64_t doc_off,
+                                              uint32_t doc_len, bool* found) {
+  *found = false;
+  if (root.len == 0) {
+    if (is_delete) return Status::NotFound();
+    Node leaf;
+    leaf.leaf = true;
+    leaf.entries.push_back(Entry{key.ToString(), doc_off, doc_len});
+    live_bytes_ += doc_len;
+    return AppendNode(leaf);
+  }
+  CowResult res;
+  DURASSD_RETURN_IF_ERROR(CowInsertRec(io, root, key, is_delete, doc_off,
+                                       doc_len, found, &res));
+  if (!res.split) return res.left;
+  Node new_root;
+  new_root.leaf = false;
+  Node left_child;
+  DURASSD_RETURN_IF_ERROR(LoadNode(io, res.left, &left_child));
+  const std::string left_key =
+      left_child.entries.empty() ? "" : left_child.entries.front().key;
+  new_root.entries.push_back(Entry{left_key, res.left.off, res.left.len});
+  new_root.entries.push_back(Entry{res.sep, res.right.off, res.right.len});
+  return AppendNode(new_root);
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+Status KvStore::Put(IoContext& io, Slice key, Slice value) {
+  stats_.puts++;
+  uint32_t doc_len = 0;
+  const uint64_t doc_off = AppendDoc(key, value, &doc_len);
+  bool found = false;
+  StatusOr<NodeRef> new_root =
+      CowUpdate(io, root_, key, /*is_delete=*/false, doc_off, doc_len,
+                &found);
+  if (!new_root.ok()) return new_root.status();
+  root_ = *new_root;
+  if (!found) doc_count_++;
+  seq_++;
+  updates_since_commit_++;
+  return MaybeCommit(io);
+}
+
+Status KvStore::Delete(IoContext& io, Slice key) {
+  stats_.deletes++;
+  bool found = false;
+  StatusOr<NodeRef> new_root =
+      CowUpdate(io, root_, key, /*is_delete=*/true, 0, 0, &found);
+  if (!new_root.ok()) return new_root.status();
+  root_ = *new_root;
+  doc_count_--;
+  seq_++;
+  updates_since_commit_++;
+  return MaybeCommit(io);
+}
+
+Status KvStore::Get(IoContext& io, Slice key, std::string* value) {
+  stats_.gets++;
+  if (root_.len == 0) return Status::NotFound();
+  NodeRef ref = root_;
+  for (int depth = 0; depth < 64; ++depth) {
+    Node node;
+    DURASSD_RETURN_IF_ERROR(LoadNode(io, ref, &node));
+    if (node.leaf) {
+      auto it = std::lower_bound(
+          node.entries.begin(), node.entries.end(), key,
+          [](const Entry& e, Slice k) { return Slice(e.key).compare(k) < 0; });
+      if (it == node.entries.end() || Slice(it->key).compare(key) != 0) {
+        return Status::NotFound();
+      }
+      return LoadDoc(io, it->off, it->len, nullptr, value);
+    }
+    auto it = std::upper_bound(
+        node.entries.begin(), node.entries.end(), key,
+        [](Slice k, const Entry& e) { return k.compare(e.key) < 0; });
+    if (it == node.entries.begin()) return Status::NotFound();
+    --it;
+    ref = NodeRef{it->off, it->len};
+  }
+  return Status::Corruption("tree too deep");
+}
+
+Status KvStore::MaybeCommit(IoContext& io) {
+  if (updates_since_commit_ >= opts_.batch_size) {
+    return Commit(io);
+  }
+  return Status::OK();
+}
+
+Status KvStore::WriteHeader(IoContext& io) {
+  // Pad to the next 4KB boundary, then append the header block.
+  const uint64_t size_now = tail_base_ + tail_.size();
+  const uint64_t pad =
+      (kBlockSize - size_now % kBlockSize) % kBlockSize;
+  tail_.append(pad, '\0');
+
+  std::string body;
+  PutFixed32(&body, kHeaderMagic);
+  PutFixed64(&body, seq_);
+  PutFixed64(&body, root_.off);
+  PutFixed32(&body, root_.len);
+  PutFixed64(&body, doc_count_);
+  PutFixed64(&body, live_bytes_);
+  std::string block;
+  PutFixed32(&block, Crc32c(body.data(), body.size()));
+  block.append(body);
+  block.resize(kBlockSize, '\0');
+  tail_.append(block);
+  append_offset_ = tail_base_ + tail_.size();
+
+  // Write data (everything buffered), fsync, which orders the header after
+  // the data it points to when barriers are on.
+  const SimFile::IoResult w = file_->Write(io.now, tail_base_, tail_);
+  DURASSD_RETURN_IF_ERROR(w.status);
+  io.AdvanceTo(w.done);
+  const SimFile::IoResult s = file_->Sync(io.now);
+  DURASSD_RETURN_IF_ERROR(s.status);
+  io.AdvanceTo(s.done);
+
+  tail_base_ = append_offset_;
+  tail_.clear();
+  return Status::OK();
+}
+
+Status KvStore::Commit(IoContext& io) {
+  if (updates_since_commit_ == 0 && tail_.empty()) return Status::OK();
+  stats_.commits++;
+  updates_since_commit_ = 0;
+  DURASSD_RETURN_IF_ERROR(WriteHeader(io));
+  if (opts_.auto_compact && file_bytes() > 0 &&
+      static_cast<double>(live_bytes_) <
+          static_cast<double>(file_bytes()) *
+              (1.0 - opts_.compact_garbage_ratio)) {
+    return Compact(io);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery & compaction
+// ---------------------------------------------------------------------------
+
+Status KvStore::Recover(IoContext& io) {
+  const uint64_t file_size = file_->size();
+  uint64_t boundary = file_size / kBlockSize * kBlockSize;
+  // Scan backward over 4KB boundaries for the newest intact header whose
+  // root node is readable.
+  while (boundary >= kBlockSize) {
+    const uint64_t header_off = boundary - kBlockSize;
+    std::string block;
+    const SimFile::IoResult r =
+        file_->Read(io.now, header_off, kBlockSize, &block);
+    DURASSD_RETURN_IF_ERROR(r.status);
+    io.AdvanceTo(r.done);
+    boundary -= kBlockSize;
+    if (block.size() < 44) continue;
+    Slice in(block);
+    uint32_t crc = 0, magic = 0;
+    GetFixed32(&in, &crc);
+    const char* body = in.data();
+    Slice peek = in;
+    GetFixed32(&peek, &magic);
+    if (magic != kHeaderMagic) continue;
+    if (Crc32c(body, 40) != crc) continue;
+    Slice parse(body, 40);
+    uint64_t seq = 0, root_off = 0, docs = 0, live = 0;
+    uint32_t m = 0, root_len = 0;
+    GetFixed32(&parse, &m);
+    GetFixed64(&parse, &seq);
+    GetFixed64(&parse, &root_off);
+    GetFixed32(&parse, &root_len);
+    GetFixed64(&parse, &docs);
+    GetFixed64(&parse, &live);
+
+    // Validate the root.
+    root_ = NodeRef{root_off, root_len};
+    if (root_len != 0) {
+      Node probe;
+      tail_base_ = header_off + kBlockSize;  // So LoadNode reads the file.
+      if (!LoadNode(io, root_, &probe).ok()) continue;
+    }
+    seq_ = seq;
+    doc_count_ = docs;
+    live_bytes_ = live;
+    append_offset_ = header_off + kBlockSize;
+    tail_base_ = append_offset_;
+    stats_.recovered_seq = seq;
+    // Drop anything beyond the recovered header so a later backward scan
+    // cannot resurrect a stale newer-looking header.
+    DURASSD_RETURN_IF_ERROR(file_->Truncate(append_offset_));
+    return Status::OK();
+  }
+  // No intact header: empty store.
+  root_ = NodeRef{};
+  seq_ = 0;
+  doc_count_ = 0;
+  live_bytes_ = 0;
+  append_offset_ = 0;
+  tail_base_ = 0;
+  return Status::OK();
+}
+
+Status KvStore::Compact(IoContext& io) {
+  stats_.compactions++;
+  // Walk the tree collecting live documents in key order.
+  std::vector<std::pair<std::string, std::string>> docs;
+  docs.reserve(doc_count_);
+  if (root_.len != 0) {
+    std::vector<NodeRef> stack{root_};
+    while (!stack.empty()) {
+      const NodeRef ref = stack.back();
+      stack.pop_back();
+      Node node;
+      DURASSD_RETURN_IF_ERROR(LoadNode(io, ref, &node));
+      if (node.leaf) {
+        for (const Entry& e : node.entries) {
+          std::string key, value;
+          DURASSD_RETURN_IF_ERROR(LoadDoc(io, e.off, e.len, &key, &value));
+          docs.emplace_back(std::move(key), std::move(value));
+        }
+      } else {
+        for (auto it = node.entries.rbegin(); it != node.entries.rend();
+             ++it) {
+          stack.push_back(NodeRef{it->off, it->len});
+        }
+      }
+    }
+  }
+  std::sort(docs.begin(), docs.end());
+
+  // Rebuild into a fresh file.
+  const std::string tmp_name = name_ + ".compact";
+  fs_->Remove(tmp_name);
+  SimFile* fresh = fs_->Open(tmp_name);
+  file_ = fresh;
+  node_cache_.clear();
+  root_ = NodeRef{};
+  append_offset_ = 0;
+  tail_base_ = 0;
+  tail_.clear();
+  live_bytes_ = 0;
+  doc_count_ = 0;
+  const uint64_t seq_keep = seq_;
+  for (const auto& [k, v] : docs) {
+    uint32_t len = 0;
+    const uint64_t off = AppendDoc(k, v, &len);
+    bool found = false;
+    StatusOr<NodeRef> nr =
+        CowUpdate(io, root_, k, /*is_delete=*/false, off, len, &found);
+    if (!nr.ok()) return nr.status();
+    root_ = *nr;
+    doc_count_++;
+  }
+  seq_ = seq_keep;
+  DURASSD_RETURN_IF_ERROR(WriteHeader(io));
+
+  // Swap the compacted file in under the original name (CouchStore does an
+  // atomic rename).
+  DURASSD_RETURN_IF_ERROR(fs_->Remove(name_));
+  DURASSD_RETURN_IF_ERROR(fs_->Rename(tmp_name, name_));
+  file_ = fs_->Open(name_);
+  return Status::OK();
+}
+
+}  // namespace durassd

@@ -1,0 +1,143 @@
+#ifndef DURASSD_KV_KVSTORE_H_
+#define DURASSD_KV_KVSTORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "db/io_context.h"
+#include "host/sim_file.h"
+
+namespace durassd {
+
+/// Document store modeled on Couchbase's CouchStore engine (Sec. 4.3.3):
+/// an append-only file holding documents and the copy-on-write B+-tree that
+/// indexes them. Every update appends the new document and fresh copies of
+/// all tree nodes on the root-to-leaf path (the ~20KB-per-update pattern
+/// the paper describes); a commit pads to a 4KB boundary and appends a
+/// checksummed header block, fsyncing according to the batch-size knob:
+///
+///   batch_size = k  =>  one fsync per k updates (Table 5's sweep).
+///
+/// Recovery scans backward for the most recent intact header, exactly like
+/// CouchStore; updates after the last durable header are lost (the
+/// durability window the batch size trades away).
+class KvStore {
+ public:
+  struct Options {
+    uint32_t node_size = 4 * kKiB;  ///< B+-tree node target size.
+    uint32_t batch_size = 1;        ///< Updates per fsync.
+    /// Compact when garbage exceeds this fraction of the file.
+    double compact_garbage_ratio = 0.7;
+    bool auto_compact = false;
+  };
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t deletes = 0;
+    uint64_t commits = 0;
+    uint64_t node_appends = 0;
+    uint64_t doc_appends = 0;
+    uint64_t compactions = 0;
+    uint64_t recovered_seq = 0;
+    uint64_t lost_updates_on_recovery = 0;
+  };
+
+  static StatusOr<std::unique_ptr<KvStore>> Open(IoContext& io,
+                                                 SimFileSystem* fs,
+                                                 const std::string& name,
+                                                 Options options);
+
+  /// Upsert. Buffers in the tail; becomes durable at the next commit.
+  Status Put(IoContext& io, Slice key, Slice value);
+  Status Get(IoContext& io, Slice key, std::string* value);
+  Status Delete(IoContext& io, Slice key);
+
+  /// Forces out the current batch (data, then header, each fsynced —
+  /// whether fsync reaches the media depends on the file system's
+  /// write-barrier setting, as everywhere else).
+  Status Commit(IoContext& io);
+
+  /// Copies live documents into a fresh file and swaps it in.
+  Status Compact(IoContext& io);
+
+  uint64_t doc_count() const { return doc_count_; }
+  uint64_t file_bytes() const { return append_offset_; }
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t committed_seq() const { return seq_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t off;
+    uint32_t len;
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+    uint32_t SerializedSize() const;
+  };
+  struct NodeRef {
+    uint64_t off = 0;
+    uint32_t len = 0;
+  };
+
+  KvStore(SimFileSystem* fs, SimFile* file, std::string name,
+          Options options);
+
+  Status Recover(IoContext& io);
+  Status LoadNode(IoContext& io, NodeRef ref, Node* out);
+  Status LoadDoc(IoContext& io, uint64_t off, uint32_t len, std::string* key,
+                 std::string* value);
+  /// Appends a chunk to the tail buffer; returns its (final) offset.
+  uint64_t AppendChunk(uint8_t type, Slice body, uint32_t* total_len);
+  NodeRef AppendNode(const Node& node);
+  uint64_t AppendDoc(Slice key, Slice value, uint32_t* len);
+
+  /// COW upsert/delete; returns the new root.
+  StatusOr<NodeRef> CowUpdate(IoContext& io, NodeRef root, Slice key,
+                              bool is_delete, uint64_t doc_off,
+                              uint32_t doc_len, bool* found);
+  struct CowResult {
+    // One node, or two plus the separator key of the right node.
+    NodeRef left;
+    bool split = false;
+    std::string sep;
+    NodeRef right;
+  };
+  Status CowInsertRec(IoContext& io, NodeRef ref, Slice key, bool is_delete,
+                      uint64_t doc_off, uint32_t doc_len, bool* found,
+                      CowResult* out);
+
+  Status WriteHeader(IoContext& io);
+  Status MaybeCommit(IoContext& io);
+
+  SimFileSystem* fs_;
+  SimFile* file_;
+  std::string name_;
+  Options opts_;
+
+  NodeRef root_;            ///< {0,0} = empty tree.
+  uint64_t append_offset_ = 0;
+  std::string tail_;        ///< Appended but not yet written to the file.
+  uint64_t tail_base_ = 0;  ///< File offset of tail_[0].
+  uint32_t updates_since_commit_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t doc_count_ = 0;
+  uint64_t live_bytes_ = 0;
+
+  /// Immutable node cache (COW nodes never change once written).
+  std::map<uint64_t, Node> node_cache_;
+
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_KV_KVSTORE_H_

@@ -1,0 +1,48 @@
+#include "ssd/device_factory.h"
+
+#include "ssd/hdd_device.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+
+const char* DeviceModelName(DeviceModel model) {
+  switch (model) {
+    case DeviceModel::kHdd:
+      return "HDD";
+    case DeviceModel::kSsdA:
+      return "SSD-A";
+    case DeviceModel::kSsdB:
+      return "SSD-B";
+    case DeviceModel::kDuraSsd:
+      return "DuraSSD";
+  }
+  return "?";
+}
+
+std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
+                                        bool store_data) {
+  if (model == DeviceModel::kHdd) {
+    HddDevice::Config hc;
+    hc.cache_enabled = cache_on;
+    hc.store_data = store_data;
+    return std::make_unique<HddDevice>(hc);
+  }
+  SsdConfig c;
+  switch (model) {
+    case DeviceModel::kSsdA:
+      c = SsdConfig::SsdA();
+      break;
+    case DeviceModel::kSsdB:
+      c = SsdConfig::SsdB();
+      break;
+    default:
+      c = SsdConfig::DuraSsd();
+      break;
+  }
+  c.cache_enabled = cache_on;
+  c.store_data = store_data;
+  return std::make_unique<SsdDevice>(c);
+}
+
+}  // namespace durassd

@@ -1,0 +1,28 @@
+#ifndef DURASSD_SSD_DEVICE_FACTORY_H_
+#define DURASSD_SSD_DEVICE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "host/block_device.h"
+
+namespace durassd {
+
+/// The device line-up of the paper's Table 1.
+enum class DeviceModel {
+  kHdd,      ///< Seagate Cheetah 15K.6 class disk, 16MB track cache.
+  kSsdA,     ///< Commodity SSD, 512MB volatile cache.
+  kSsdB,     ///< Commodity SSD, 128MB volatile cache.
+  kDuraSsd,  ///< The prototype: 512MB capacitor-backed durable cache.
+};
+
+const char* DeviceModelName(DeviceModel model);
+
+/// Builds a device. `cache_on` maps to the "Storage Cache ON/OFF" rows;
+/// `store_data` selects real-bytes vs timing-only mode.
+std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
+                                        bool store_data);
+
+}  // namespace durassd
+
+#endif  // DURASSD_SSD_DEVICE_FACTORY_H_

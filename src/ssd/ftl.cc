@@ -1,0 +1,342 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace durassd {
+
+Ftl::Ftl(FlashArray* flash, Options options)
+    : flash_(flash), opts_(options) {
+  const FlashGeometry& g = flash_->geometry();
+  assert(g.page_size % opts_.sector_size == 0);
+  sectors_per_page_ = g.page_size / opts_.sector_size;
+  assert(sectors_per_page_ >= 1 && sectors_per_page_ <= 4);
+  assert(opts_.dump_blocks_per_plane < g.blocks_per_plane);
+
+  first_dump_block_ = g.blocks_per_plane - opts_.dump_blocks_per_plane;
+  dump_area_pages_ =
+      opts_.dump_blocks_per_plane * g.total_planes() * g.pages_per_block;
+
+  const uint64_t dump_bytes = static_cast<uint64_t>(dump_area_pages_) *
+                              g.page_size;
+  const double usable =
+      (static_cast<double>(g.total_bytes()) - static_cast<double>(dump_bytes)) *
+      (1.0 - opts_.over_provision);
+  logical_sectors_ =
+      usable <= 0 ? 0 : static_cast<uint64_t>(usable) / opts_.sector_size;
+
+  reverse_.assign(g.total_pages() * sectors_per_page_, kInvalidLpn);
+  planes_.resize(g.total_planes());
+  for (auto& plane : planes_) {
+    plane.free_blocks.reserve(first_dump_block_);
+    // LIFO: push in reverse so block 0 is allocated first (determinism).
+    for (uint32_t b = first_dump_block_; b-- > 0;) {
+      plane.free_blocks.push_back(b);
+    }
+  }
+}
+
+StatusOr<Ppn> Ftl::AllocatePage(SimTime now, uint32_t plane_idx, bool for_gc) {
+  const FlashGeometry& g = flash_->geometry();
+  PlaneAlloc& plane = planes_[plane_idx];
+
+  if (!for_gc && plane.free_blocks.size() <= opts_.gc_free_block_threshold &&
+      plane.active_block != ~0u) {
+    DURASSD_RETURN_IF_ERROR(RunGc(now, plane_idx));
+  }
+
+  if (plane.active_block == ~0u || plane.next_page >= g.pages_per_block) {
+    if (plane.free_blocks.empty()) {
+      return Status::OutOfSpace("plane has no erased blocks");
+    }
+    plane.active_block = plane.free_blocks.back();
+    plane.free_blocks.pop_back();
+    plane.next_page = 0;
+  }
+  const Ppn ppn = g.MakePpn(plane_idx, plane.active_block, plane.next_page);
+  plane.next_page++;
+  return ppn;
+}
+
+void Ftl::KillSlot(uint64_t packed) {
+  const Ppn ppn = PpnOf(packed);
+  const uint32_t slot = SlotOf(packed);
+  reverse_[ppn * sectors_per_page_ + slot] = kInvalidLpn;
+  // The physical page dies when its last live sector dies.
+  bool any_live = false;
+  for (uint32_t s = 0; s < sectors_per_page_; ++s) {
+    if (reverse_[ppn * sectors_per_page_ + s] != kInvalidLpn) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) flash_->MarkInvalid(ppn);
+}
+
+void Ftl::RecordDelta(Lpn lpn, SimTime start, SimTime done) {
+  auto it = delta_.find(lpn);
+  if (it == delta_.end()) {
+    auto mit = map_.find(lpn);
+    const uint64_t old_packed = mit == map_.end() ? kUnmapped : mit->second;
+    delta_.emplace(lpn, DeltaRec{old_packed, start, done});
+  } else {
+    it->second.last_start = start;
+    it->second.last_done = done;
+  }
+}
+
+Status Ftl::ProgramSectors(SimTime now,
+                           const std::vector<SectorWrite>& sectors,
+                           SimTime* start, SimTime* done) {
+  if (sectors.empty() || sectors.size() > sectors_per_page_) {
+    return Status::InvalidArgument("bad sector count for one program");
+  }
+  for (const SectorWrite& s : sectors) {
+    if (s.lpn >= logical_sectors_) {
+      return Status::InvalidArgument("lpn beyond logical capacity");
+    }
+  }
+
+  const uint32_t plane_idx = rr_plane_;
+  rr_plane_ = (rr_plane_ + 1) % planes_.size();
+
+  StatusOr<Ppn> ppn_or = AllocatePage(now, plane_idx, /*for_gc=*/false);
+  if (!ppn_or.ok()) return ppn_or.status();
+  const Ppn ppn = *ppn_or;
+
+  // Assemble the physical page: live sectors first, rest stays erased.
+  std::string page_data;
+  const bool have_data = sectors[0].data != nullptr;
+  if (have_data) {
+    page_data.reserve(flash_->geometry().page_size);
+    for (const SectorWrite& s : sectors) {
+      assert(s.data != nullptr && s.data->size() == opts_.sector_size);
+      page_data.append(*s.data);
+    }
+  }
+
+  SimTime prog_done = 0;
+  DURASSD_RETURN_IF_ERROR(
+      flash_->ProgramPage(now, ppn, page_data, &prog_done));
+  stats_.host_programs++;
+  // ProgramPage's completion includes channel wait; its start is what the
+  // torn-write model keys on. Recompute conservatively as now (transfer
+  // begins immediately); the flash layer tracks the precise program window.
+  const SimTime prog_start = now;
+
+  for (uint32_t slot = 0; slot < sectors.size(); ++slot) {
+    const Lpn lpn = sectors[slot].lpn;
+    RecordDelta(lpn, prog_start, prog_done);
+    auto it = map_.find(lpn);
+    if (it != map_.end()) KillSlot(it->second);
+    map_[lpn] = Pack(ppn, slot);
+    reverse_[ppn * sectors_per_page_ + slot] = lpn;
+  }
+
+  *start = prog_start;
+  *done = prog_done;
+  return Status::OK();
+}
+
+SimTime Ftl::ReadSector(SimTime now, Lpn lpn, std::string* out, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  auto it = map_.find(lpn);
+  if (it == map_.end()) {
+    if (out != nullptr) out->assign(opts_.sector_size, '\0');
+    return now;  // Map lookup only; no media access.
+  }
+  const Ppn ppn = PpnOf(it->second);
+  const uint32_t slot = SlotOf(it->second);
+
+  std::string page;
+  const SimTime done = flash_->ReadPage(now, ppn, out ? &page : nullptr);
+  if (out != nullptr) {
+    out->assign(page, static_cast<size_t>(slot) * opts_.sector_size,
+                opts_.sector_size);
+    out->resize(opts_.sector_size, '\0');
+  }
+  if (torn != nullptr) *torn = flash_->IsTorn(ppn);
+  return done;
+}
+
+Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
+  const FlashGeometry& g = flash_->geometry();
+  PlaneAlloc& plane = planes_[plane_idx];
+  stats_.gc_runs++;
+
+  // Greedy victim: fewest valid pages among full (non-active, non-free,
+  // non-dump) blocks; erase count breaks ties (mild wear leveling).
+  uint32_t victim = ~0u;
+  uint32_t best_valid = std::numeric_limits<uint32_t>::max();
+  uint32_t best_wear = std::numeric_limits<uint32_t>::max();
+  for (uint32_t b = 0; b < first_dump_block_; ++b) {
+    if (b == plane.active_block) continue;
+    if (std::find(plane.free_blocks.begin(), plane.free_blocks.end(), b) !=
+        plane.free_blocks.end()) {
+      continue;
+    }
+    const uint32_t valid = flash_->valid_pages_in_block(plane_idx, b);
+    const uint32_t wear = flash_->erase_count(plane_idx, b);
+    if (valid < best_valid || (valid == best_valid && wear < best_wear)) {
+      victim = b;
+      best_valid = valid;
+      best_wear = wear;
+    }
+  }
+  if (victim == ~0u) {
+    return Status::OutOfSpace("gc found no victim block");
+  }
+
+  // Relocate live sectors, re-pairing them two per program.
+  std::vector<std::pair<Lpn, std::string>> live;
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const Ppn ppn = g.MakePpn(plane_idx, victim, p);
+    std::string page;
+    bool read_done = false;
+    for (uint32_t s = 0; s < sectors_per_page_; ++s) {
+      const Lpn lpn = reverse_[ppn * sectors_per_page_ + s];
+      if (lpn == kInvalidLpn) continue;
+      if (!read_done) {
+        flash_->ReadPage(now, ppn, &page);
+        stats_.gc_reads++;
+        read_done = true;
+      }
+      live.emplace_back(
+          lpn, page.empty()
+                   ? std::string()
+                   : page.substr(static_cast<size_t>(s) * opts_.sector_size,
+                                 opts_.sector_size));
+    }
+  }
+
+  for (size_t i = 0; i < live.size(); i += sectors_per_page_) {
+    StatusOr<Ppn> dst_or = AllocatePage(now, plane_idx, /*for_gc=*/true);
+    if (!dst_or.ok()) return dst_or.status();
+    const Ppn dst = *dst_or;
+
+    std::string page_data;
+    const size_t count = std::min<size_t>(sectors_per_page_, live.size() - i);
+    for (size_t j = 0; j < count; ++j) {
+      if (!live[i + j].second.empty()) {
+        page_data.append(live[i + j].second);
+      }
+    }
+    SimTime done = 0;
+    DURASSD_RETURN_IF_ERROR(flash_->ProgramPage(now, dst, page_data, &done));
+    stats_.gc_programs++;
+    for (size_t j = 0; j < count; ++j) {
+      const Lpn lpn = live[i + j].first;
+      // Old slot dies; mapping follows the data. Delta is untouched: a GC
+      // move does not change what the host wrote, only where it lives, and
+      // rollback targets are handled below.
+      auto it = map_.find(lpn);
+      assert(it != map_.end());
+      KillSlot(it->second);
+      it->second = Pack(dst, static_cast<uint32_t>(j));
+      reverse_[dst * sectors_per_page_ + j] = lpn;
+    }
+  }
+
+  // Rollback targets living in the victim are about to be erased for good:
+  // a real controller journals the mapping before erasing, so these entries
+  // are effectively persisted now and can no longer roll back.
+  for (auto it = delta_.begin(); it != delta_.end();) {
+    bool drop = false;
+    if (it->second.old_packed != kUnmapped) {
+      const Ppn old_ppn = PpnOf(it->second.old_packed);
+      if (g.PlaneOf(old_ppn) == plane_idx && g.BlockOf(old_ppn) == victim) {
+        drop = true;
+      }
+    }
+    if (drop) {
+      stats_.forced_persists++;
+      it = delta_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  flash_->EraseBlock(now, plane_idx, victim);
+  stats_.gc_erases++;
+  plane.free_blocks.push_back(victim);
+  return Status::OK();
+}
+
+void Ftl::PersistMapping() { delta_.clear(); }
+
+std::vector<Lpn> Ftl::DirtyMappingLpns() const {
+  std::vector<Lpn> out;
+  out.reserve(delta_.size());
+  for (const auto& [lpn, rec] : delta_) out.push_back(lpn);
+  return out;
+}
+
+void Ftl::PowerCutRollback(SimTime t, bool expose_started_programs) {
+  for (auto& [lpn, rec] : delta_) {
+    if (expose_started_programs && rec.last_start <= t) {
+      // The mapping journal had already recorded this entry when the
+      // program was issued: the (possibly torn) new page stays visible.
+      continue;
+    }
+    // Lost write: revert to the persisted mapping.
+    auto it = map_.find(lpn);
+    if (it != map_.end()) {
+      KillSlot(it->second);
+      if (rec.old_packed == kUnmapped) {
+        map_.erase(it);
+      } else {
+        const Ppn old_ppn = PpnOf(rec.old_packed);
+        const uint32_t old_slot = SlotOf(rec.old_packed);
+        it->second = rec.old_packed;
+        reverse_[old_ppn * sectors_per_page_ + old_slot] = lpn;
+        if (flash_->page_state(old_ppn) == PageState::kInvalid) {
+          flash_->RevalidatePage(old_ppn);
+        }
+      }
+    }
+  }
+  delta_.clear();
+}
+
+Ppn Ftl::DumpAreaPpn(uint32_t index) const {
+  const FlashGeometry& g = flash_->geometry();
+  const uint32_t pages_per_plane_dump =
+      opts_.dump_blocks_per_plane * g.pages_per_block;
+  const uint32_t plane = index / pages_per_plane_dump;
+  const uint32_t rem = index % pages_per_plane_dump;
+  const uint32_t block = first_dump_block_ + rem / g.pages_per_block;
+  const uint32_t page = rem % g.pages_per_block;
+  return g.MakePpn(plane, block, page);
+}
+
+Status Ftl::ProgramDumpPage(uint32_t index, Slice data) {
+  if (index >= dump_area_pages_) {
+    return Status::OutOfSpace("dump area exhausted");
+  }
+  SimTime done = 0;
+  // Timing is irrelevant on capacitor power; issue at the end of time seen.
+  return flash_->ProgramPage(0, DumpAreaPpn(index), data, &done);
+}
+
+std::string Ftl::ReadDumpPage(uint32_t index) {
+  std::string page;
+  flash_->ReadPage(0, DumpAreaPpn(index), &page);
+  return page;
+}
+
+SimTime Ftl::EraseDumpArea(SimTime now) {
+  const FlashGeometry& g = flash_->geometry();
+  SimTime done = now;
+  for (uint32_t plane = 0; plane < g.total_planes(); ++plane) {
+    for (uint32_t b = first_dump_block_; b < g.blocks_per_plane; ++b) {
+      if (flash_->next_program_page(plane, b) == 0) {
+        continue;  // Already clean.
+      }
+      done = std::max(done, flash_->EraseBlock(now, plane, b));
+    }
+  }
+  return done;
+}
+
+}  // namespace durassd

@@ -1,0 +1,157 @@
+#ifndef DURASSD_SSD_FTL_H_
+#define DURASSD_SSD_FTL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "flash/flash_array.h"
+
+namespace durassd {
+
+/// Page-mapping flash translation layer with 4KB mapping granularity over
+/// 8KB NAND pages (Sec. 3.1.2): two logical sectors share one physical page.
+/// Owns logical->physical mapping, page allocation (striped round-robin
+/// across planes for parallelism), greedy garbage collection, the reserved
+/// dump area, and the mapping-persistence crash model:
+///
+///   - RAM mapping is authoritative during normal operation.
+///   - A "delta" tracks entries modified since the last persistence point.
+///   - On a volatile device, power loss rolls the delta back (lost writes),
+///     optionally keeping entries whose NAND program had already begun —
+///     which is how commodity SSDs expose torn writes (FAST'13).
+///   - On DuraSSD the delta is dumped on capacitor power and merged at
+///     reboot, so nothing rolls back.
+class Ftl {
+ public:
+  struct Options {
+    uint32_t sector_size = 4 * kKiB;
+    double over_provision = 0.07;
+    uint32_t gc_free_block_threshold = 2;
+    uint32_t dump_blocks_per_plane = 2;
+  };
+
+  struct SectorWrite {
+    Lpn lpn;
+    const std::string* data;  ///< nullptr in timing-only mode.
+  };
+
+  struct Stats {
+    uint64_t host_programs = 0;
+    uint64_t gc_runs = 0;
+    uint64_t gc_reads = 0;
+    uint64_t gc_programs = 0;
+    uint64_t gc_erases = 0;
+    uint64_t forced_persists = 0;  ///< Delta entries force-persisted by GC.
+  };
+
+  Ftl(FlashArray* flash, Options options);
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  uint32_t sector_size() const { return opts_.sector_size; }
+  uint32_t sectors_per_page() const { return sectors_per_page_; }
+  uint64_t logical_sectors() const { return logical_sectors_; }
+
+  /// Programs 1..sectors_per_page() logical sectors into one NAND page
+  /// (pairing two 4KB sectors per 8KB program when possible). Reports the
+  /// program's start and completion times. Runs GC first if the target
+  /// plane is low on free blocks.
+  Status ProgramSectors(SimTime now, const std::vector<SectorWrite>& sectors,
+                        SimTime* start, SimTime* done);
+
+  /// Reads one logical sector. Unmapped sectors read as zeros with zero
+  /// media cost beyond the firmware's map lookup. `torn`, if non-null,
+  /// reports whether the backing physical page was shorn by a power cut.
+  SimTime ReadSector(SimTime now, Lpn lpn, std::string* out,
+                     bool* torn = nullptr);
+
+  bool IsMapped(Lpn lpn) const { return map_.count(lpn) != 0; }
+
+  // --- Mapping persistence / crash model ---
+  size_t dirty_mapping_entries() const { return delta_.size(); }
+  /// Marks everything persisted (called when a FLUSH CACHE completes, or
+  /// after a successful durable-cache dump replay).
+  void PersistMapping();
+  /// Volatile-device power cut: entries in the delta roll back to their
+  /// persisted value. When `expose_started_programs` is set, entries whose
+  /// program had begun by `t` keep the new (possibly torn) mapping instead.
+  void PowerCutRollback(SimTime t, bool expose_started_programs);
+  /// LPNs with unpersisted mapping entries (dump sizing on DuraSSD).
+  std::vector<Lpn> DirtyMappingLpns() const;
+
+  // --- Dump area (Sec. 3.4.1): reserved clean blocks, one dump page per
+  // cached sector, always erased during normal operation. ---
+  uint32_t dump_area_pages() const { return dump_area_pages_; }
+  Ppn DumpAreaPpn(uint32_t index) const;
+  /// Programs `data` into the index-th dump page, bypassing the mapping.
+  /// Used on capacitor power, so the caller ignores timing.
+  Status ProgramDumpPage(uint32_t index, Slice data);
+  std::string ReadDumpPage(uint32_t index);
+  /// Erases all dump blocks; returns completion time.
+  SimTime EraseDumpArea(SimTime now);
+
+  const Stats& stats() const { return stats_; }
+  FlashArray* flash() { return flash_; }
+
+  /// Free blocks currently available in the given plane (test hook).
+  size_t free_blocks_in_plane(uint32_t plane) const {
+    return planes_[plane].free_blocks.size();
+  }
+
+ private:
+  static constexpr uint64_t kUnmapped = ~0ull;
+
+  struct PlaneAlloc {
+    std::vector<uint32_t> free_blocks;   ///< Erased blocks (LIFO).
+    uint32_t active_block = ~0u;
+    uint32_t next_page = 0;
+  };
+  struct DeltaRec {
+    uint64_t old_packed;  ///< Persisted value (kUnmapped if none).
+    SimTime last_start;   ///< Start of the most recent program for this LPN.
+    SimTime last_done;
+  };
+
+  static uint64_t Pack(Ppn ppn, uint32_t slot) { return ppn * 4 + slot; }
+  static Ppn PpnOf(uint64_t packed) { return packed / 4; }
+  static uint32_t SlotOf(uint64_t packed) {
+    return static_cast<uint32_t>(packed % 4);
+  }
+
+  /// Returns the next erased physical page on the round-robin plane,
+  /// running GC when the plane is short on free blocks. `for_gc` allocs
+  /// skip the GC trigger (they consume the reserved headroom).
+  StatusOr<Ppn> AllocatePage(SimTime now, uint32_t plane, bool for_gc);
+  Status RunGc(SimTime now, uint32_t plane);
+  void KillSlot(uint64_t packed);
+  void RecordDelta(Lpn lpn, SimTime start, SimTime done);
+  bool IsDumpBlock(uint32_t block) const {
+    return block >= first_dump_block_;
+  }
+
+  FlashArray* flash_;
+  Options opts_;
+  uint32_t sectors_per_page_;
+  uint64_t logical_sectors_;
+  uint32_t first_dump_block_;
+  uint32_t dump_area_pages_;
+  uint32_t dump_next_ = 0;
+
+  std::unordered_map<Lpn, uint64_t> map_;
+  /// Reverse map: which LPN lives in each (ppn, slot); kInvalidLpn = dead.
+  /// Flat-indexed as ppn * sectors_per_page_ + slot.
+  std::vector<Lpn> reverse_;
+  std::unordered_map<Lpn, DeltaRec> delta_;
+  std::vector<PlaneAlloc> planes_;
+  uint32_t rr_plane_ = 0;
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_SSD_FTL_H_

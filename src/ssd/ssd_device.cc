@@ -1,0 +1,566 @@
+#include "ssd/ssd_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace durassd {
+
+namespace {
+constexpr uint32_t kDumpMagic = 0xD0D0CAFE;
+constexpr SimTime kFlushEmptyOverhead = 100 * kMicrosecond;
+constexpr SimTime kCleanBootTime = 1 * kMillisecond;
+constexpr SimTime kVolatileRecoveryScan = 50 * kMillisecond;
+}  // namespace
+
+SsdDevice::SsdDevice(SsdConfig config)
+    : cfg_(std::move(config)),
+      flash_(FlashArray::Options{cfg_.geometry, cfg_.store_data}),
+      ftl_(&flash_, Ftl::Options{cfg_.sector_size, cfg_.over_provision,
+                                 cfg_.gc_free_block_threshold,
+                                 cfg_.dump_blocks_per_plane}),
+      bus_(1),
+      fw_(cfg_.fw_parallelism),
+      ncq_(cfg_.ncq_depth) {}
+
+SimTime SsdDevice::BusTime(uint32_t nsec, bool is_write) const {
+  const double rate =
+      is_write ? cfg_.bus_write_bytes_per_ns : cfg_.bus_read_bytes_per_ns;
+  const double bytes = static_cast<double>(nsec) * cfg_.sector_size;
+  return static_cast<SimTime>(bytes / rate) + cfg_.bus_cmd_overhead;
+}
+
+SimTime SsdDevice::FwTime(uint32_t nsec, bool is_write) const {
+  if (is_write) {
+    return cfg_.fw_write_base + cfg_.fw_write_per_extra_sector * (nsec - 1);
+  }
+  return cfg_.fw_read_base + cfg_.fw_read_per_extra_sector * (nsec - 1);
+}
+
+SimTime SsdDevice::AcquireFrame(SimTime t) {
+  while (!outstanding_.empty() && outstanding_.top() <= t) {
+    outstanding_.pop();
+  }
+  if (outstanding_.size() >= cfg_.write_buffer_sectors) {
+    const SimTime freed = outstanding_.top();
+    outstanding_.pop();
+    stats_.write_stalls++;
+    stats_.write_stall_time += freed - t;
+    return freed;
+  }
+  return t;
+}
+
+void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack) {
+  CacheEntry& e = cache_[lpn];
+  if (e.ack != 0 || !e.data.empty()) {
+    // Coalesce: keep the displaced acknowledged version for the incomplete-
+    // overwrite rollback corner (Sec. 3.2's "old copies are discarded",
+    // with one-deep history for atomicity of the in-flight command).
+    e.has_prev = true;
+    e.prev_data = std::move(e.data);
+    e.prev_ack = e.ack;
+  }
+  if (cfg_.store_data) {
+    e.data.assign(sector.data(), sector.size());
+  }
+  e.ack = ack;
+  e.program_start = 0;
+  e.program_done = kNeverProgrammed;
+  cache_fifo_.push_back(lpn);
+  EvictCleanIfNeeded();
+}
+
+void SsdDevice::EvictCleanIfNeeded() {
+  while (cache_.size() > cfg_.cache_capacity_sectors &&
+         !cache_fifo_.empty()) {
+    const Lpn victim = cache_fifo_.front();
+    cache_fifo_.pop_front();
+    auto it = cache_.find(victim);
+    if (it == cache_.end()) continue;                 // Stale FIFO entry.
+    if (victim == pending_half_lpn_ && has_pending_half_) continue;
+    if (it->second.program_done == kNeverProgrammed ||
+        it->second.program_done > max_time_seen_) {
+      // Still dirty in flight; re-queue and stop (frames bound this).
+      cache_fifo_.push_back(victim);
+      break;
+    }
+    cache_.erase(it);
+  }
+}
+
+Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
+  std::vector<Ftl::SectorWrite> writes;
+  writes.reserve(group.size());
+  for (Lpn lpn : group) {
+    auto it = cache_.find(lpn);
+    assert(it != cache_.end());
+    writes.push_back(
+        {lpn, cfg_.store_data ? &it->second.data : nullptr});
+  }
+  SimTime start = 0;
+  SimTime done = 0;
+  DURASSD_RETURN_IF_ERROR(ftl_.ProgramSectors(t, writes, &start, &done));
+  for (Lpn lpn : group) {
+    CacheEntry& e = cache_[lpn];
+    e.program_start = start;
+    e.program_done = done;
+    outstanding_.push(done);
+  }
+  return Status::OK();
+}
+
+BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
+  if (!powered_) return {Status::DeviceOffline(), now};
+  if (data.empty() || data.size() % cfg_.sector_size != 0) {
+    return {Status::InvalidArgument("write size not sector-aligned"), now};
+  }
+  const uint32_t nsec = static_cast<uint32_t>(data.size() / cfg_.sector_size);
+  if (lpn + nsec > num_sectors()) {
+    return {Status::InvalidArgument("write beyond device capacity"), now};
+  }
+  max_time_seen_ = std::max(max_time_seen_, now);
+  stats_.host_writes++;
+  stats_.host_written_sectors += nsec;
+
+  const SimTime est = BusTime(nsec, true) + FwTime(nsec, true);
+  const ResourceTimeline::Grant slot = ncq_.Acquire(now, est);
+  const ResourceTimeline::Grant bus =
+      bus_.Acquire(slot.start, BusTime(nsec, true));
+  const ResourceTimeline::Grant fw = fw_.Acquire(bus.done, FwTime(nsec, true));
+
+  if (!cfg_.cache_enabled) {
+    // Write-through: program synchronously and persist the mapping entry
+    // before acknowledging — the path on which a power cut exposes a torn
+    // page to the host.
+    SimTime last_done = fw.done;
+    std::vector<Ftl::SectorWrite> group;
+    std::vector<std::string> sectors(nsec);
+    for (uint32_t i = 0; i < nsec; ++i) {
+      if (cfg_.store_data) {
+        sectors[i].assign(data.data() + static_cast<size_t>(i) * cfg_.sector_size,
+                          cfg_.sector_size);
+      }
+      group.push_back({lpn + i, cfg_.store_data ? &sectors[i] : nullptr});
+      if (group.size() == ftl_.sectors_per_page() || i + 1 == nsec) {
+        SimTime start = 0;
+        SimTime done = 0;
+        Status s = ftl_.ProgramSectors(fw.done, group, &start, &done);
+        if (!s.ok()) return {s, now};
+        last_done = std::max(last_done, done);
+        group.clear();
+      }
+    }
+    const SimTime ack =
+        last_done + MappingPersistCost(ftl_.dirty_mapping_entries());
+    ftl_.PersistMapping();
+    max_time_seen_ = std::max(max_time_seen_, ack);
+    return {Status::OK(), ack};
+  }
+
+  // Cached path: acknowledge once all sectors are in the durable (or
+  // volatile) cache; destage is scheduled immediately for parallelism.
+  SimTime t = fw.done;
+  for (uint32_t i = 0; i < nsec; ++i) t = AcquireFrame(t);
+  const SimTime ack = t;
+
+  for (uint32_t i = 0; i < nsec; ++i) {
+    InsertCacheEntry(lpn + i,
+                     Slice(data.data() + static_cast<size_t>(i) * cfg_.sector_size,
+                           cfg_.sector_size),
+                     ack);
+  }
+
+  std::vector<Lpn> group;
+  for (uint32_t i = 0; i < nsec; ++i) {
+    const Lpn cur = lpn + i;
+    if (has_pending_half_ && pending_half_lpn_ == cur) {
+      // Rewriting the pending half: it stays pending with fresh data.
+      continue;
+    }
+    group.push_back(cur);
+    if (group.size() == ftl_.sectors_per_page()) {
+      Status s = DestageGroup(ack, group);
+      if (!s.ok()) return {s, now};
+      group.clear();
+    }
+  }
+  if (!group.empty()) {
+    assert(group.size() == 1);
+    if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0 &&
+        pending_half_lpn_ != group[0]) {
+      group.push_back(pending_half_lpn_);
+      has_pending_half_ = false;
+      pending_half_lpn_ = kInvalidLpn;
+      Status s = DestageGroup(ack, group);
+      if (!s.ok()) return {s, now};
+    } else if (ftl_.sectors_per_page() > 1) {
+      has_pending_half_ = true;
+      pending_half_lpn_ = group[0];
+    } else {
+      Status s = DestageGroup(ack, group);
+      if (!s.ok()) return {s, now};
+    }
+  }
+
+  // Firmware-internal mapping checkpoint (invisible to the host).
+  if (ftl_.dirty_mapping_entries() > cfg_.mapping_autopersist_threshold) {
+    ftl_.PersistMapping();
+  }
+
+  max_time_seen_ = std::max(max_time_seen_, ack);
+  return {Status::OK(), ack};
+}
+
+BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
+                                    std::string* out) {
+  if (!powered_) return {Status::DeviceOffline(), now};
+  if (nsec == 0 || lpn + nsec > num_sectors()) {
+    return {Status::InvalidArgument("read beyond device capacity"), now};
+  }
+  max_time_seen_ = std::max(max_time_seen_, now);
+  stats_.host_reads++;
+  stats_.host_read_sectors += nsec;
+
+  // FLUSH CACHE is a non-queued command: reads arriving while one is being
+  // processed wait for it (writes still land in the cache). This is the
+  // read-latency-variability mechanism of Sec. 1/2 — a read blocked behind
+  // a flush costs milliseconds instead of tens of microseconds.
+  for (auto it = flush_windows_.rbegin(); it != flush_windows_.rend(); ++it) {
+    if (now >= it->first && now < it->second) {
+      now = it->second;
+      stats_.reads_stalled_by_flush++;
+      break;
+    }
+    if (now >= it->second) break;  // Windows are ordered; no older match.
+  }
+
+  const SimTime est = FwTime(nsec, false) + BusTime(nsec, false);
+  const ResourceTimeline::Grant slot = ncq_.Acquire(now, est);
+  const ResourceTimeline::Grant fw =
+      fw_.Acquire(slot.start, FwTime(nsec, false));
+
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(static_cast<size_t>(nsec) * cfg_.sector_size);
+  }
+  SimTime media_done = fw.done;
+  for (uint32_t i = 0; i < nsec; ++i) {
+    const Lpn cur = lpn + i;
+    auto it = cache_.find(cur);
+    if (it != cache_.end()) {
+      stats_.cache_read_hits++;
+      if (out != nullptr) {
+        if (!it->second.data.empty()) {
+          out->append(it->second.data);
+        } else {
+          out->append(cfg_.sector_size, '\0');
+        }
+      }
+      continue;
+    }
+    std::string sector;
+    const SimTime done =
+        ftl_.ReadSector(fw.done, cur, out != nullptr ? &sector : nullptr);
+    media_done = std::max(media_done, done);
+    if (out != nullptr) out->append(sector);
+  }
+
+  const ResourceTimeline::Grant bus =
+      bus_.Acquire(media_done, BusTime(nsec, false));
+  max_time_seen_ = std::max(max_time_seen_, bus.done);
+  return {Status::OK(), bus.done};
+}
+
+SimTime SsdDevice::MappingPersistCost(size_t entries) const {
+  if (entries == 0) return 0;
+  const size_t pages =
+      (entries + cfg_.mapping_entries_per_page - 1) /
+      cfg_.mapping_entries_per_page;
+  return static_cast<SimTime>(pages) * cfg_.geometry.program_latency;
+}
+
+BlockDevice::Result SsdDevice::Flush(SimTime now) {
+  if (!powered_) return {Status::DeviceOffline(), now};
+  max_time_seen_ = std::max(max_time_seen_, now);
+  stats_.flushes++;
+
+  if (!cfg_.cache_enabled) {
+    // Write-through device: nothing cached, mapping persisted per write.
+    return {Status::OK(), now + cfg_.bus_cmd_overhead + kFlushEmptyOverhead};
+  }
+
+  if (cfg_.durable_cache &&
+      cfg_.flush_mode == SsdConfig::FlushMode::kOrderedNoDrain) {
+    // Sec. 3.3's alternative semantics: every acknowledged write is already
+    // durable, so the flush only asserts ordering. All commands that
+    // arrived before it are acknowledged by construction (synchronous
+    // acks), so the command completes at queue-processing cost.
+    return {Status::OK(), now + cfg_.bus_cmd_overhead + 25 * kMicrosecond};
+  }
+
+  if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0) {
+    std::vector<Lpn> group{pending_half_lpn_};
+    has_pending_half_ = false;
+    pending_half_lpn_ = kInvalidLpn;
+    Status s = DestageGroup(now, group);
+    if (!s.ok()) return {s, now};
+  }
+  has_pending_half_ = false;
+
+  // FLUSH CACHE commands are serialized by the firmware: a flush arriving
+  // while another is in progress queues behind it. A flush arriving before
+  // an already-queued flush has *started* piggybacks on it — every write
+  // acknowledged before that start time is covered by it. This is where
+  // group commit materializes at the device level.
+  if (last_flush_start_ >= now) {
+    return {Status::OK(), last_flush_done_};
+  }
+  const SimTime start = std::max(now, last_flush_done_);
+
+  SimTime drain = start;
+  const bool had_work =
+      !outstanding_.empty() || ftl_.dirty_mapping_entries() > 0;
+  while (!outstanding_.empty()) {
+    drain = std::max(drain, outstanding_.top());
+    outstanding_.pop();
+  }
+  const SimTime persist = MappingPersistCost(ftl_.dirty_mapping_entries());
+  ftl_.PersistMapping();
+
+  const SimTime done =
+      drain + persist +
+      (had_work ? cfg_.flush_fixed_overhead : kFlushEmptyOverhead);
+  last_flush_start_ = start;
+  last_flush_done_ = done;
+  flush_windows_.emplace_back(start, done);
+  if (flush_windows_.size() > 64) flush_windows_.pop_front();
+  max_time_seen_ = std::max(max_time_seen_, done);
+  return {Status::OK(), done};
+}
+
+void SsdDevice::DumpOnCapacitor(SimTime t) {
+  // Everything acknowledged but not yet safely on NAND must reach the dump
+  // area on capacitor power (Sec. 3.4.1), together with the dirty mapping
+  // entries. Completed programs survive via the dumped mapping delta.
+  std::vector<std::pair<Lpn, const std::string*>> to_dump;
+  for (const auto& [lpn, e] : cache_) {
+    if (e.ack <= t && e.program_done > t) {
+      to_dump.emplace_back(lpn, &e.data);
+    }
+  }
+  const uint64_t dump_bytes =
+      (static_cast<uint64_t>(to_dump.size()) + 1) * cfg_.geometry.page_size +
+      ftl_.dirty_mapping_entries() * 12;
+  if (dump_bytes > cfg_.capacitor_budget_bytes ||
+      to_dump.size() + 1 > ftl_.dump_area_pages()) {
+    stats_.capacitor_overruns++;
+    // A real device would brown out mid-dump; we keep going so tests can
+    // detect the overrun via stats instead of undefined behavior.
+  }
+
+  if (!cfg_.store_data) {
+    dump_lpns_timing_only_.clear();
+    for (const auto& [lpn, data] : to_dump) {
+      dump_lpns_timing_only_.push_back(lpn);
+    }
+    stats_.dumped_pages += to_dump.size();
+    dump_pages_used_ = static_cast<uint32_t>(to_dump.size());
+    return;
+  }
+
+  // Header page, then one dump page per cached sector.
+  std::string header;
+  PutFixed32(&header, kDumpMagic);
+  PutFixed32(&header, static_cast<uint32_t>(to_dump.size()));
+  ftl_.ProgramDumpPage(0, header);
+  uint32_t index = 1;
+  for (const auto& [lpn, data] : to_dump) {
+    std::string page;
+    PutFixed64(&page, lpn);
+    PutFixed32(&page, static_cast<uint32_t>(data->size()));
+    page.append(*data);
+    if (!ftl_.ProgramDumpPage(index, page).ok()) {
+      stats_.capacitor_overruns++;
+      break;
+    }
+    index++;
+  }
+  stats_.dumped_pages += index - 1;
+  dump_pages_used_ = index;
+}
+
+void SsdDevice::PowerCut(SimTime t) {
+  if (!powered_) return;
+  powered_ = false;
+  emergency_shutdown_ = true;
+
+  flash_.PowerCut(t);
+  bus_.Reset();
+  fw_.Reset();
+  ncq_.Reset();
+
+  if (cfg_.durable_cache) {
+    // Discard commands whose transfer had not completed (atomic writer,
+    // Sec. 3.2), restoring the previously acknowledged version if any.
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      CacheEntry& e = it->second;
+      if (e.ack > t) {
+        stats_.dropped_incomplete++;
+        if (e.has_prev && e.prev_ack <= t) {
+          e.data = std::move(e.prev_data);
+          e.ack = e.prev_ack;
+          e.has_prev = false;
+          e.program_start = 0;
+          e.program_done = kNeverProgrammed;  // Needs replay.
+          ++it;
+        } else {
+          it = cache_.erase(it);
+        }
+      } else {
+        ++it;
+      }
+    }
+    if (has_pending_half_ && cache_.count(pending_half_lpn_) == 0) {
+      has_pending_half_ = false;
+      pending_half_lpn_ = kInvalidLpn;
+    }
+    // Programs that had not begun by t belong to discarded commands; their
+    // mapping entries roll back. Started programs keep their mapping; the
+    // replay below re-points any that were shorn.
+    ftl_.PowerCutRollback(t, /*expose_started_programs=*/true);
+    DumpOnCapacitor(t);
+  } else {
+    const bool flush_in_progress =
+        last_flush_start_ >= 0 && last_flush_start_ <= t &&
+        t < last_flush_done_;
+    const bool expose = cfg_.exposes_torn_writes && flush_in_progress;
+    cache_.clear();
+    cache_fifo_.clear();
+    ftl_.PowerCutRollback(t, expose);
+  }
+
+  has_pending_half_ = false;
+  pending_half_lpn_ = kInvalidLpn;
+  while (!outstanding_.empty()) outstanding_.pop();
+  last_flush_start_ = last_flush_done_ = -1;
+  flush_windows_.clear();
+  max_time_seen_ = 0;
+}
+
+SimTime SsdDevice::ReplayDump() {
+  SimTime t = 0;
+  const FlashGeometry& g = cfg_.geometry;
+  const SimTime page_read_cost = g.read_latency + g.channel_transfer_time();
+
+  std::vector<std::pair<Lpn, std::string>> entries;
+  if (cfg_.store_data) {
+    const std::string header = ftl_.ReadDumpPage(0);
+    Slice h(header);
+    uint32_t magic = 0;
+    uint32_t count = 0;
+    if (!GetFixed32(&h, &magic) || magic != kDumpMagic ||
+        !GetFixed32(&h, &count)) {
+      count = 0;  // No (or corrupt) dump: nothing was cached at the cut.
+    }
+    t += page_read_cost;  // Header read.
+    for (uint32_t i = 1; i <= count && i < ftl_.dump_area_pages(); ++i) {
+      const std::string page = ftl_.ReadDumpPage(i);
+      t += page_read_cost;
+      Slice p(page);
+      uint64_t lpn = 0;
+      uint32_t len = 0;
+      if (!GetFixed64(&p, &lpn) || !GetFixed32(&p, &len) ||
+          p.size() < len) {
+        continue;  // Shorn dump page (should not happen within budget).
+      }
+      entries.emplace_back(lpn, std::string(p.data(), len));
+    }
+  } else {
+    for (Lpn lpn : dump_lpns_timing_only_) {
+      entries.emplace_back(lpn, std::string());
+    }
+    t += static_cast<SimTime>(entries.size() + 1) * page_read_cost;
+    dump_lpns_timing_only_.clear();
+  }
+
+  // Replay: re-program every dumped sector (idempotent — mapping simply
+  // repoints, superseding any shorn page).
+  std::vector<Ftl::SectorWrite> group;
+  SimTime replay_done = t;
+  for (const auto& [lpn, data] : entries) {
+    group.push_back({lpn, cfg_.store_data ? &data : nullptr});
+    if (group.size() == ftl_.sectors_per_page()) {
+      SimTime start = 0;
+      SimTime done = 0;
+      if (ftl_.ProgramSectors(t, group, &start, &done).ok()) {
+        replay_done = std::max(replay_done, done);
+        stats_.replayed_pages += group.size();
+      }
+      group.clear();
+    }
+  }
+  if (!group.empty()) {
+    SimTime start = 0;
+    SimTime done = 0;
+    if (ftl_.ProgramSectors(t, group, &start, &done).ok()) {
+      replay_done = std::max(replay_done, done);
+      stats_.replayed_pages += group.size();
+    }
+  }
+
+  ftl_.PersistMapping();
+  const SimTime erased = ftl_.EraseDumpArea(replay_done);
+  dump_pages_used_ = 0;
+  return erased;
+}
+
+SimTime SsdDevice::PowerOn() {
+  if (powered_) return 0;
+  powered_ = true;
+  cache_.clear();
+  cache_fifo_.clear();
+  while (!outstanding_.empty()) outstanding_.pop();
+
+  SimTime duration = kCleanBootTime;  // Controller boot + capacitor recharge.
+  if (emergency_shutdown_) {
+    if (cfg_.durable_cache) {
+      duration += ReplayDump();
+    } else {
+      duration += kVolatileRecoveryScan;
+      ftl_.PersistMapping();
+    }
+    emergency_shutdown_ = false;
+  }
+  // Recovery (and anything queued before it) completes under capacitor
+  // protection; a later power cut cannot shear it.
+  flash_.QuiesceInFlight();
+  max_time_seen_ = 0;
+  return duration;
+}
+
+Status SsdDevice::Shutdown(SimTime now) {
+  if (!powered_) return Status::OK();
+  const Result r = Flush(now);
+  DURASSD_RETURN_IF_ERROR(r.status);
+  powered_ = false;
+  emergency_shutdown_ = false;
+  cache_.clear();
+  cache_fifo_.clear();
+  while (!outstanding_.empty()) outstanding_.pop();
+  has_pending_half_ = false;
+  pending_half_lpn_ = kInvalidLpn;
+  return Status::OK();
+}
+
+double SsdDevice::WriteAmplification() const {
+  const double host_bytes = static_cast<double>(stats_.host_written_sectors) *
+                            cfg_.sector_size;
+  if (host_bytes == 0) return 0;
+  const double nand_bytes = static_cast<double>(flash_.stats().programs) *
+                            cfg_.geometry.page_size;
+  return nand_bytes / host_bytes;
+}
+
+}  // namespace durassd

@@ -1,0 +1,153 @@
+#ifndef DURASSD_SSD_SSD_DEVICE_H_
+#define DURASSD_SSD_SSD_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "flash/flash_array.h"
+#include "host/block_device.h"
+#include "ssd/ftl.h"
+#include "ssd/ssd_config.h"
+
+namespace durassd {
+
+/// The simulated SSD: DRAM device cache, atomic writer, flusher, NCQ,
+/// power-off detection and recovery manager over a NAND FlashArray + FTL
+/// (Fig. 3 of the paper). One class models both DuraSSD (durable_cache on)
+/// and commodity volatile-cache SSDs; the HDD lives in HddDevice.
+///
+/// Semantics implemented:
+///  - Atomic writer (Sec. 3.2): a write command is atomic from the moment
+///    it is acknowledged. Commands not fully transferred when power fails
+///    are discarded whole; acknowledged ones are replayed from the dump
+///    area on reboot (durable cache) or rolled back (volatile cache).
+///  - Flusher (Sec. 3.1.1): destage is scheduled the moment data lands in
+///    the cache, striped round-robin across planes for parallelism, with
+///    two 4KB sectors paired per 8KB NAND program.
+///  - FLUSH CACHE (Sec. 3.3): drains outstanding destages and persists the
+///    mapping journal; cost grows with dirty state (Fig. 2).
+///  - Recovery manager (Sec. 3.4): on power failure the durable cache and
+///    dirty mapping entries are dumped to reserved clean blocks within the
+///    capacitor budget; on reboot the dump is replayed idempotently.
+class SsdDevice : public BlockDevice {
+ public:
+  struct Stats {
+    uint64_t host_writes = 0;        ///< Write commands.
+    uint64_t host_written_sectors = 0;
+    uint64_t host_reads = 0;
+    uint64_t host_read_sectors = 0;
+    uint64_t cache_read_hits = 0;
+    uint64_t flushes = 0;
+    uint64_t write_stalls = 0;       ///< Writes that waited for a frame.
+    SimTime write_stall_time = 0;
+    uint64_t dumped_pages = 0;       ///< Pages saved on capacitor power.
+    uint64_t replayed_pages = 0;     ///< Pages replayed at reboot.
+    uint64_t dropped_incomplete = 0; ///< Un-acked commands discarded whole.
+    uint64_t capacitor_overruns = 0; ///< Dump exceeded the budget (bug).
+    uint64_t reads_stalled_by_flush = 0;  ///< Reads behind FLUSH CACHE.
+  };
+
+  explicit SsdDevice(SsdConfig config);
+  ~SsdDevice() override = default;
+
+  SsdDevice(const SsdDevice&) = delete;
+  SsdDevice& operator=(const SsdDevice&) = delete;
+
+  // --- BlockDevice ---
+  uint32_t sector_size() const override { return cfg_.sector_size; }
+  uint64_t num_sectors() const override { return ftl_.logical_sectors(); }
+  Result Write(SimTime now, Lpn lpn, Slice data) override;
+  Result Read(SimTime now, Lpn lpn, uint32_t nsec, std::string* out) override;
+  Result Flush(SimTime now) override;
+  void PowerCut(SimTime t) override;
+  SimTime PowerOn() override;
+  bool supports_atomic_write() const override { return cfg_.durable_cache; }
+  bool has_durable_cache() const override { return cfg_.durable_cache; }
+
+  /// Clean shutdown: FLUSH CACHE then power down without the emergency flag.
+  Status Shutdown(SimTime now);
+
+  bool powered() const { return powered_; }
+  const SsdConfig& config() const { return cfg_; }
+  const Stats& stats() const { return stats_; }
+  const Ftl& ftl() const { return ftl_; }
+  const FlashArray& flash() const { return flash_; }
+
+  /// Host-level write amplification: NAND bytes programmed / host bytes
+  /// written (GC included). The endurance argument of Sec. 1 & 6.
+  double WriteAmplification() const;
+
+ private:
+  struct CacheEntry {
+    std::string data;          ///< Sector bytes; empty in timing-only mode.
+    SimTime ack = 0;           ///< Command acknowledged (atomicity point).
+    SimTime program_start = 0;
+    SimTime program_done = 0;  ///< kNeverProgrammed until destage scheduled.
+    // One-deep history for the coalescing rollback corner case: if the
+    // overwriting command turns out incomplete at a power cut, the
+    // previously acknowledged version is restored.
+    bool has_prev = false;
+    std::string prev_data;
+    SimTime prev_ack = 0;
+  };
+
+  static constexpr SimTime kNeverProgrammed =
+      std::numeric_limits<SimTime>::max();
+
+  SimTime BusTime(uint32_t nsec, bool is_write) const;
+  SimTime FwTime(uint32_t nsec, bool is_write) const;
+  /// Blocks until a write-buffer frame is free; returns the (possibly
+  /// delayed) time at which the frame was obtained.
+  SimTime AcquireFrame(SimTime t);
+  /// Destages `group` (1..sectors_per_page sectors) at time t, updating the
+  /// cache entries' program windows.
+  Status DestageGroup(SimTime t, const std::vector<Lpn>& group);
+  void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack);
+  void EvictCleanIfNeeded();
+  /// Mapping-journal persistence cost for `entries` dirty mapping entries.
+  SimTime MappingPersistCost(size_t entries) const;
+  void DumpOnCapacitor(SimTime t);
+  SimTime ReplayDump();
+
+  SsdConfig cfg_;
+  FlashArray flash_;
+  Ftl ftl_;
+
+  ResourceTimeline bus_;   ///< Half-duplex host link (SATA).
+  ResourceTimeline fw_;    ///< Firmware command pipeline.
+  ResourceTimeline ncq_;   ///< Command-queue slots.
+
+  std::unordered_map<Lpn, CacheEntry> cache_;
+  std::deque<Lpn> cache_fifo_;
+  /// Completion times of scheduled destages (frame accounting).
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
+      outstanding_;
+  /// An unpaired 4KB sector awaiting a partner for an 8KB program.
+  bool has_pending_half_ = false;
+  Lpn pending_half_lpn_ = kInvalidLpn;
+
+  bool powered_ = true;
+  bool emergency_shutdown_ = false;
+  SimTime max_time_seen_ = 0;
+  SimTime last_flush_start_ = -1;
+  SimTime last_flush_done_ = -1;
+  /// Recent FLUSH CACHE service windows (reads arriving inside one wait).
+  std::deque<std::pair<SimTime, SimTime>> flush_windows_;
+  /// Logical dump contents in timing-only mode (store_data == false).
+  std::vector<Lpn> dump_lpns_timing_only_;
+  uint32_t dump_pages_used_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_SSD_SSD_DEVICE_H_

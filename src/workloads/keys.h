@@ -1,0 +1,46 @@
+#ifndef DURASSD_WORKLOADS_KEYS_H_
+#define DURASSD_WORKLOADS_KEYS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace durassd {
+
+/// Big-endian encoding helpers so composite integer keys sort correctly
+/// under the B+-tree's memcmp order.
+inline void AppendU64BE(std::string* dst, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline void AppendU32BE(std::string* dst, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    dst->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+inline std::string KeyU64(uint64_t a) {
+  std::string k;
+  AppendU64BE(&k, a);
+  return k;
+}
+
+inline std::string KeyU64U32(uint64_t a, uint32_t b) {
+  std::string k;
+  AppendU64BE(&k, a);
+  AppendU32BE(&k, b);
+  return k;
+}
+
+inline std::string KeyU64U32U64(uint64_t a, uint32_t b, uint64_t c) {
+  std::string k;
+  AppendU64BE(&k, a);
+  AppendU32BE(&k, b);
+  AppendU64BE(&k, c);
+  return k;
+}
+
+}  // namespace durassd
+
+#endif  // DURASSD_WORKLOADS_KEYS_H_

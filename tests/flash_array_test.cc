@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "flash/flash_array.h"
+#include "flash/geometry.h"
+
+namespace durassd {
+namespace {
+
+FlashArray::Options TinyOptions(bool store_data = true) {
+  return FlashArray::Options{FlashGeometry::Tiny(), store_data};
+}
+
+TEST(FlashGeometryTest, PpnEncodingRoundTrips) {
+  const FlashGeometry g = FlashGeometry::Tiny();
+  for (uint32_t plane = 0; plane < g.total_planes(); ++plane) {
+    for (uint32_t block = 0; block < g.blocks_per_plane; block += 3) {
+      for (uint32_t page = 0; page < g.pages_per_block; page += 2) {
+        const Ppn ppn = g.MakePpn(plane, block, page);
+        EXPECT_EQ(g.PlaneOf(ppn), plane);
+        EXPECT_EQ(g.BlockOf(ppn), block);
+        EXPECT_EQ(g.PageOf(ppn), page);
+      }
+    }
+  }
+}
+
+TEST(FlashGeometryTest, DefaultMatchesPaperExample) {
+  const FlashGeometry g;
+  // Sec 2.3: 8 channels x 4 packages x 4 chips x 2 planes = 256.
+  EXPECT_EQ(g.total_planes(), 256u);
+  EXPECT_EQ(g.page_size, 8u * kKiB);
+}
+
+TEST(FlashArrayTest, ProgramThenReadRoundTrips) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  const Ppn ppn = g.MakePpn(0, 0, 0);
+
+  std::string data(g.page_size, 'x');
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, ppn, data, &done).ok());
+  EXPECT_GT(done, 0);
+
+  std::string out;
+  flash.ReadPage(done, ppn, &out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(flash.page_state(ppn), PageState::kValid);
+}
+
+TEST(FlashArrayTest, ShortProgramPadsWithZeros) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "abc", &done).ok());
+  std::string out;
+  flash.ReadPage(done, g.MakePpn(0, 0, 0), &out);
+  ASSERT_EQ(out.size(), g.page_size);
+  EXPECT_EQ(out.substr(0, 3), "abc");
+  EXPECT_EQ(out[3], '\0');
+}
+
+TEST(FlashArrayTest, RejectsProgramToProgrammedPage) {
+  FlashArray flash(TinyOptions());
+  const Ppn ppn = flash.geometry().MakePpn(0, 0, 0);
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, ppn, "a", &done).ok());
+  EXPECT_TRUE(flash.ProgramPage(done, ppn, "b", &done).IsIoError());
+}
+
+TEST(FlashArrayTest, EnforcesInOrderProgrammingWithinBlock) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  // Page 1 before page 0: rejected.
+  EXPECT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 1), "x", &done).IsIoError());
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "x", &done).ok());
+  EXPECT_TRUE(flash.ProgramPage(done, g.MakePpn(0, 0, 1), "x", &done).ok());
+}
+
+TEST(FlashArrayTest, EraseResetsBlockAndBumpsWear) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, p), "z", &done).ok());
+  }
+  EXPECT_EQ(flash.valid_pages_in_block(0, 0), g.pages_per_block);
+
+  const SimTime erased = flash.EraseBlock(done, 0, 0);
+  EXPECT_GT(erased, done);
+  EXPECT_EQ(flash.erase_count(0, 0), 1u);
+  EXPECT_EQ(flash.valid_pages_in_block(0, 0), 0u);
+  EXPECT_EQ(flash.next_program_page(0, 0), 0u);
+  EXPECT_EQ(flash.page_state(g.MakePpn(0, 0, 0)), PageState::kFree);
+
+  // Erased pages read back as zeros and are programmable again.
+  std::string out;
+  flash.ReadPage(erased, g.MakePpn(0, 0, 0), &out);
+  EXPECT_EQ(out, std::string(g.page_size, '\0'));
+  EXPECT_TRUE(flash.ProgramPage(erased, g.MakePpn(0, 0, 0), "y", &done).ok());
+}
+
+TEST(FlashArrayTest, MarkInvalidDropsValidCount) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "a", &done).ok());
+  flash.MarkInvalid(g.MakePpn(0, 0, 0));
+  EXPECT_EQ(flash.page_state(g.MakePpn(0, 0, 0)), PageState::kInvalid);
+  EXPECT_EQ(flash.valid_pages_in_block(0, 0), 0u);
+  // Idempotent.
+  flash.MarkInvalid(g.MakePpn(0, 0, 0));
+  EXPECT_EQ(flash.valid_pages_in_block(0, 0), 0u);
+}
+
+TEST(FlashArrayTest, RevalidateRestoresCount) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "a", &done).ok());
+  flash.MarkInvalid(g.MakePpn(0, 0, 0));
+  flash.RevalidatePage(g.MakePpn(0, 0, 0));
+  EXPECT_EQ(flash.page_state(g.MakePpn(0, 0, 0)), PageState::kValid);
+  EXPECT_EQ(flash.valid_pages_in_block(0, 0), 1u);
+}
+
+// --------------------------- Timing ---------------------------------------
+
+TEST(FlashArrayTest, PlaneSerializesPrograms) {
+  FlashArray flash(TinyOptions(false));
+  const FlashGeometry& g = flash.geometry();
+  SimTime d1 = 0, d2 = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "", &d1).ok());
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 1), "", &d2).ok());
+  // Same plane: the second program waits for the first.
+  EXPECT_GE(d2, d1 + g.program_latency);
+}
+
+TEST(FlashArrayTest, DifferentChannelsRunInParallel) {
+  FlashArray flash(TinyOptions(false));
+  const FlashGeometry& g = flash.geometry();
+  // Tiny geometry: planes 0,1 on channel 0; planes 2,3 on channel 1.
+  SimTime d1 = 0, d2 = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "", &d1).ok());
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(2, 0, 0), "", &d2).ok());
+  // Different channel + different plane: nearly identical completion.
+  EXPECT_LT(d2 - d1, g.program_latency / 4);
+}
+
+TEST(FlashArrayTest, SameChannelSerializesTransferOnly) {
+  FlashArray flash(TinyOptions(false));
+  const FlashGeometry& g = flash.geometry();
+  SimTime d1 = 0, d2 = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "", &d1).ok());
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(1, 0, 0), "", &d2).ok());
+  // Same channel, different planes: programs overlap, transfers serialize.
+  EXPECT_EQ(d2 - d1, g.channel_transfer_time());
+}
+
+// --------------------------- Power cut ------------------------------------
+
+TEST(FlashArrayTest, PowerCutMidProgramTearsPage) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  const Ppn ppn = g.MakePpn(0, 0, 0);
+  std::string data(g.page_size, 'T');
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, ppn, data, &done).ok());
+
+  // Cut halfway through the program.
+  flash.PowerCut(done - g.program_latency / 2);
+  EXPECT_TRUE(flash.IsTorn(ppn));
+  EXPECT_EQ(flash.stats().torn_pages, 1u);
+
+  std::string out;
+  flash.ReadPage(0, ppn, &out);
+  EXPECT_EQ(out.substr(0, g.page_size / 4), std::string(g.page_size / 4, 'T'));
+  EXPECT_EQ(out.substr(g.page_size / 4),
+            std::string(3 * (g.page_size / 4), '\0'));
+}
+
+TEST(FlashArrayTest, PowerCutAfterCompletionKeepsPage) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  const Ppn ppn = g.MakePpn(0, 0, 0);
+  std::string data(g.page_size, 'K');
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, ppn, data, &done).ok());
+
+  flash.PowerCut(done + 1);
+  EXPECT_FALSE(flash.IsTorn(ppn));
+  std::string out;
+  flash.ReadPage(0, ppn, &out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(FlashArrayTest, PowerCutBeforeStartRollsBackToErased) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  // Two programs on the same plane: the second starts only after the first
+  // finishes. Cut during the first => second never started.
+  SimTime d1 = 0, d2 = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "a", &d1).ok());
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 1), "b", &d2).ok());
+  flash.PowerCut(d1 - 1);
+
+  EXPECT_TRUE(flash.IsTorn(g.MakePpn(0, 0, 0)));
+  EXPECT_EQ(flash.page_state(g.MakePpn(0, 0, 1)), PageState::kFree);
+  EXPECT_FALSE(flash.IsTorn(g.MakePpn(0, 0, 1)));
+}
+
+TEST(FlashArrayTest, PowerCutMidEraseInvalidatesBlock) {
+  FlashArray flash(TinyOptions());
+  const FlashGeometry& g = flash.geometry();
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "a", &done).ok());
+  const SimTime erase_done = flash.EraseBlock(done, 0, 0);
+  flash.PowerCut(erase_done - 1);
+
+  // Block is unusable until a clean re-erase.
+  SimTime d = 0;
+  EXPECT_FALSE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "x", &d).ok());
+  flash.EraseBlock(0, 0, 0);
+  EXPECT_TRUE(flash.ProgramPage(1, g.MakePpn(0, 0, 0), "x", &d).ok());
+}
+
+TEST(FlashArrayTest, TimingOnlyModeStoresNothing) {
+  FlashArray flash(TinyOptions(false));
+  const FlashGeometry& g = flash.geometry();
+  std::string data(g.page_size, 'q');
+  SimTime done = 0;
+  ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), data, &done).ok());
+  std::string out;
+  flash.ReadPage(done, g.MakePpn(0, 0, 0), &out);
+  EXPECT_EQ(out, std::string(g.page_size, '\0'));
+}
+
+}  // namespace
+}  // namespace durassd

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+namespace {
+
+constexpr uint32_t kSector = 4 * kKiB;
+
+std::string SectorData(char fill) { return std::string(kSector, fill); }
+
+// ---------------------------------------------------------------------------
+// Functional round trips
+// ---------------------------------------------------------------------------
+
+TEST(SsdDeviceTest, WriteThenReadRoundTrips) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 5, SectorData('a'));
+  ASSERT_TRUE(w.status.ok());
+  EXPECT_GT(w.done, 0);
+
+  std::string out;
+  const auto r = dev.Read(w.done, 5, 1, &out);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(out, SectorData('a'));
+}
+
+TEST(SsdDeviceTest, MultiSectorWriteRoundTrips) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  std::string data = SectorData('1') + SectorData('2') + SectorData('3');
+  const auto w = dev.Write(0, 10, data);
+  ASSERT_TRUE(w.status.ok());
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(w.done, 10, 3, &out).status.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SsdDeviceTest, UnwrittenSectorsReadAsZeros) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 42, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('\0'));
+}
+
+TEST(SsdDeviceTest, RejectsMisalignedAndOutOfRange) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  EXPECT_FALSE(dev.Write(0, 0, "short").status.ok());
+  EXPECT_FALSE(dev.Write(0, dev.num_sectors(), SectorData('x')).status.ok());
+  EXPECT_FALSE(dev.Read(0, dev.num_sectors(), 1, nullptr).status.ok());
+  EXPECT_FALSE(dev.Read(0, 0, 0, nullptr).status.ok());
+}
+
+TEST(SsdDeviceTest, OverwriteReturnsLatestFromCache) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  auto w1 = dev.Write(0, 3, SectorData('x'));
+  auto w2 = dev.Write(w1.done, 3, SectorData('y'));
+  std::string out;
+  ASSERT_TRUE(dev.Read(w2.done, 3, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('y'));
+}
+
+TEST(SsdDeviceTest, OfflineDeviceRejectsEverything) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  dev.PowerCut(0);
+  EXPECT_TRUE(dev.Write(0, 0, SectorData('x')).status.IsDeviceOffline());
+  EXPECT_TRUE(dev.Read(0, 0, 1, nullptr).status.IsDeviceOffline());
+  EXPECT_TRUE(dev.Flush(0).status.IsDeviceOffline());
+}
+
+// ---------------------------------------------------------------------------
+// Timing shapes (the physics behind Table 1)
+// ---------------------------------------------------------------------------
+
+TEST(SsdDeviceTest, CachedWriteAcksFasterThanWriteThrough) {
+  SsdConfig on = SsdConfig::Tiny(true);
+  SsdConfig off = SsdConfig::Tiny(true);
+  off.cache_enabled = false;
+  SsdDevice cached(on);
+  SsdDevice through(off);
+
+  const SimTime t_cached = cached.Write(0, 0, SectorData('a')).done;
+  const SimTime t_through = through.Write(0, 0, SectorData('a')).done;
+  // Cache ack ~ bus+fw (tens of us); write-through pays NAND program +
+  // mapping persist (ms).
+  EXPECT_LT(t_cached * 5, t_through);
+}
+
+TEST(SsdDeviceTest, FlushWaitsForOutstandingDestages) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 0, SectorData('a'));
+  const auto f = dev.Flush(w.done);
+  ASSERT_TRUE(f.status.ok());
+  // Flush completion covers the NAND program + mapping persist + overhead.
+  EXPECT_GT(f.done, w.done + dev.config().geometry.program_latency);
+}
+
+TEST(SsdDeviceTest, FlushWithNothingDirtyIsCheap) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 0, SectorData('a'));
+  const auto f1 = dev.Flush(w.done);
+  const auto f2 = dev.Flush(f1.done);
+  EXPECT_LT(f2.done - f1.done, kMillisecond);  // Second flush: no work.
+}
+
+TEST(SsdDeviceTest, PairedSectorsHalveProgramCount) {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  SsdDevice dev(cfg);
+  // 8 single-sector writes => pending-half pairing => ~4 programs.
+  SimTime t = 0;
+  for (Lpn l = 0; l < 8; ++l) {
+    t = dev.Write(t, l, SectorData('p')).done;
+  }
+  EXPECT_LE(dev.flash().stats().programs, 4u);
+}
+
+TEST(SsdDeviceTest, WriteAmplificationNearOneForSequentialPairs) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  SimTime t = 0;
+  for (Lpn l = 0; l < 64; ++l) t = dev.Write(t, l, SectorData('s')).done;
+  const auto f = dev.Flush(t);
+  // 64 x 4KB host = 32 x 8KB programs => WA ~= 1.0 (plus <= one partial).
+  EXPECT_NEAR(dev.WriteAmplification(), 1.0, 0.1);
+  (void)f;
+}
+
+// ---------------------------------------------------------------------------
+// Durable cache: atomicity + durability across power failure (Sec. 3.2/3.4)
+// ---------------------------------------------------------------------------
+
+TEST(SsdDeviceTest, DurableCacheSurvivesPowerCutWithoutFlush) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 7, SectorData('D'));
+  ASSERT_TRUE(w.status.ok());
+
+  dev.PowerCut(w.done + 1);  // Acked, never flushed, destage in flight.
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 7, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('D'));
+  EXPECT_EQ(dev.stats().capacitor_overruns, 0u);
+}
+
+TEST(SsdDeviceTest, DurableCacheReplaysManyDirtySectors) {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  SsdDevice dev(cfg);
+  SimTime t = 0;
+  for (Lpn l = 0; l < 20; ++l) {
+    const auto w = dev.Write(t, l, SectorData('a' + l % 26));
+    ASSERT_TRUE(w.status.ok());
+    t = w.done;
+  }
+  dev.PowerCut(t + 1);
+  const SimTime recovery = dev.PowerOn();
+  EXPECT_GT(recovery, 0);
+
+  for (Lpn l = 0; l < 20; ++l) {
+    std::string out;
+    ASSERT_TRUE(dev.Read(0, l, 1, &out).status.ok());
+    EXPECT_EQ(out, SectorData('a' + l % 26)) << "lpn " << l;
+  }
+}
+
+TEST(SsdDeviceTest, DurableCacheDiscardsIncompleteCommandWhole) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  std::string data = SectorData('1') + SectorData('2');
+  const auto w = dev.Write(0, 0, data);
+  ASSERT_TRUE(w.status.ok());
+
+  // Cut before the ack: the command never completed; both sectors revert.
+  dev.PowerCut(w.done - 1);
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 0, 2, &out).status.ok());
+  EXPECT_EQ(out, SectorData('\0') + SectorData('\0'));
+  EXPECT_GE(dev.stats().dropped_incomplete, 1u);
+}
+
+TEST(SsdDeviceTest, DurableCacheNeverExposesTornPages) {
+  // Overwrite repeatedly and cut mid-destage; the acknowledged version (old
+  // or new, depending on the ack boundary) must read back whole.
+  for (int cut_us : {10, 50, 100, 400, 800, 1200}) {
+    SsdDevice dev(SsdConfig::Tiny(true));
+    auto w1 = dev.Write(0, 0, SectorData('A'));
+    ASSERT_TRUE(w1.status.ok());
+    auto f = dev.Flush(w1.done);
+    auto w2 = dev.Write(f.done, 0, SectorData('B'));
+    ASSERT_TRUE(w2.status.ok());
+
+    const SimTime cut = f.done + cut_us * kMicrosecond;
+    dev.PowerCut(cut);
+    dev.PowerOn();
+
+    std::string out;
+    ASSERT_TRUE(dev.Read(0, 0, 1, &out).status.ok());
+    const bool whole_a = out == SectorData('A');
+    const bool whole_b = out == SectorData('B');
+    EXPECT_TRUE(whole_a || whole_b) << "cut at +" << cut_us << "us";
+    if (cut >= w2.done) {
+      // Acked before the cut: durability demands the new version.
+      EXPECT_TRUE(whole_b) << "cut at +" << cut_us << "us";
+    }
+  }
+}
+
+TEST(SsdDeviceTest, CoalescedOverwriteRestoresPriorAckedVersion) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w1 = dev.Write(0, 4, SectorData('x'));
+  ASSERT_TRUE(w1.status.ok());
+  const auto w2 = dev.Write(w1.done, 4, SectorData('y'));
+  ASSERT_TRUE(w2.status.ok());
+
+  dev.PowerCut(w2.done - 1);  // Second command incomplete.
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 4, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('x'));
+}
+
+TEST(SsdDeviceTest, CleanShutdownNeedsNoReplay) {
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 9, SectorData('c'));
+  ASSERT_TRUE(dev.Shutdown(w.done).ok());
+  const SimTime boot = dev.PowerOn();
+  EXPECT_LT(boot, 10 * kMillisecond);
+  EXPECT_EQ(dev.stats().replayed_pages, 0u);
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 9, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('c'));
+}
+
+// ---------------------------------------------------------------------------
+// Volatile cache: data loss and torn writes (the other 13 of 15 SSDs)
+// ---------------------------------------------------------------------------
+
+TEST(SsdDeviceTest, VolatileCacheLosesUnflushedAckedWrites) {
+  SsdDevice dev(SsdConfig::Tiny(false));
+  ASSERT_FALSE(dev.has_durable_cache());
+  const auto w = dev.Write(0, 7, SectorData('L'));
+  ASSERT_TRUE(w.status.ok());
+
+  dev.PowerCut(w.done + kSecond);  // Long after ack — still unflushed.
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 7, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('\0'));  // Acked data gone.
+}
+
+TEST(SsdDeviceTest, VolatileCacheKeepsFlushedWrites) {
+  SsdDevice dev(SsdConfig::Tiny(false));
+  const auto w = dev.Write(0, 7, SectorData('F'));
+  const auto f = dev.Flush(w.done);
+  ASSERT_TRUE(f.status.ok());
+
+  dev.PowerCut(f.done + 1);
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 7, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('F'));
+}
+
+TEST(SsdDeviceTest, VolatileFlushPreservesPrefixProperty) {
+  // Writes w0..w9, flush, w10..w19, cut: exactly w0..w9 survive.
+  SsdDevice dev(SsdConfig::Tiny(false));
+  SimTime t = 0;
+  for (Lpn l = 0; l < 10; ++l) t = dev.Write(t, l, SectorData('1')).done;
+  t = dev.Flush(t).done;
+  for (Lpn l = 10; l < 20; ++l) t = dev.Write(t, l, SectorData('2')).done;
+
+  dev.PowerCut(t + kSecond);
+  dev.PowerOn();
+
+  for (Lpn l = 0; l < 10; ++l) {
+    std::string out;
+    ASSERT_TRUE(dev.Read(0, l, 1, &out).status.ok());
+    EXPECT_EQ(out, SectorData('1')) << l;
+  }
+  for (Lpn l = 10; l < 20; ++l) {
+    std::string out;
+    ASSERT_TRUE(dev.Read(0, l, 1, &out).status.ok());
+    EXPECT_EQ(out, SectorData('\0')) << l;
+  }
+}
+
+TEST(SsdDeviceTest, WriteThroughCutMidProgramExposesTornPage) {
+  SsdConfig cfg = SsdConfig::Tiny(false);
+  cfg.cache_enabled = false;  // O_DIRECT-style write-through.
+  SsdDevice dev(cfg);
+
+  auto w1 = dev.Write(0, 0, SectorData('O'));
+  ASSERT_TRUE(w1.status.ok());
+  auto w2 = dev.Write(w1.done, 0, SectorData('N'));
+  ASSERT_TRUE(w2.status.ok());
+
+  // Cut while the second (overwrite) program is on the NAND bus.
+  dev.PowerCut(w2.done - dev.config().geometry.program_latency / 2 -
+               dev.config().geometry.program_latency /* persist cost */);
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 0, 1, &out).status.ok());
+  // Neither whole-old nor whole-new: a shorn page is visible.
+  EXPECT_NE(out, SectorData('O'));
+  EXPECT_NE(out, SectorData('N'));
+}
+
+TEST(SsdDeviceTest, DurableConfigReportsAtomicSupport) {
+  SsdDevice dura(SsdConfig::Tiny(true));
+  SsdDevice vol(SsdConfig::Tiny(false));
+  EXPECT_TRUE(dura.supports_atomic_write());
+  EXPECT_TRUE(dura.has_durable_cache());
+  EXPECT_FALSE(vol.supports_atomic_write());
+}
+
+// ---------------------------------------------------------------------------
+// Capacitor budget (Sec. 3.1: "dozens of megabytes")
+// ---------------------------------------------------------------------------
+
+TEST(SsdDeviceTest, DumpFitsCapacitorBudgetUnderFullWriteBuffer) {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  SsdDevice dev(cfg);
+  // Saturate the write buffer, then cut mid-burst.
+  SimTime t = 0;
+  for (Lpn l = 0; l < cfg.write_buffer_sectors * 2; ++l) {
+    const auto w = dev.Write(t, l % dev.num_sectors(), SectorData('b'));
+    ASSERT_TRUE(w.status.ok());
+    t = w.done;
+  }
+  dev.PowerCut(t - kMicrosecond);
+  EXPECT_EQ(dev.stats().capacitor_overruns, 0u);
+  dev.PowerOn();
+}
+
+TEST(SsdDeviceTest, ReplayIsIdempotentAcrossDoubleFailure) {
+  // Power cut, reboot, immediately cut again before any new I/O: recovery
+  // must still produce the same state.
+  SsdDevice dev(SsdConfig::Tiny(true));
+  const auto w = dev.Write(0, 3, SectorData('R'));
+  ASSERT_TRUE(w.status.ok());
+  dev.PowerCut(w.done + 1);
+  dev.PowerOn();
+  dev.PowerCut(1);  // Immediately after boot.
+  dev.PowerOn();
+
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 3, 1, &out).status.ok());
+  EXPECT_EQ(out, SectorData('R'));
+}
+
+}  // namespace
+}  // namespace durassd
