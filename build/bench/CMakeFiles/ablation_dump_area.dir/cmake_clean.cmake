@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dump_area.dir/ablation_dump_area.cc.o"
+  "CMakeFiles/ablation_dump_area.dir/ablation_dump_area.cc.o.d"
+  "ablation_dump_area"
+  "ablation_dump_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dump_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

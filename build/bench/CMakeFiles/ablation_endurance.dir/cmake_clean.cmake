@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_endurance.dir/ablation_endurance.cc.o"
+  "CMakeFiles/ablation_endurance.dir/ablation_endurance.cc.o.d"
+  "ablation_endurance"
+  "ablation_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_semantics.dir/ablation_flush_semantics.cc.o"
+  "CMakeFiles/ablation_flush_semantics.dir/ablation_flush_semantics.cc.o.d"
+  "ablation_flush_semantics"
+  "ablation_flush_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

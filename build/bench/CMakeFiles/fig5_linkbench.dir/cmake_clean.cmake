@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_linkbench.dir/fig5_linkbench.cc.o"
+  "CMakeFiles/fig5_linkbench.dir/fig5_linkbench.cc.o.d"
+  "fig5_linkbench"
+  "fig5_linkbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_linkbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

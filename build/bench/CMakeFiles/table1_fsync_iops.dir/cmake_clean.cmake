@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fsync_iops.dir/table1_fsync_iops.cc.o"
+  "CMakeFiles/table1_fsync_iops.dir/table1_fsync_iops.cc.o.d"
+  "table1_fsync_iops"
+  "table1_fsync_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fsync_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

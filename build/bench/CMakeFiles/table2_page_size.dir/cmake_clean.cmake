@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_page_size.dir/table2_page_size.cc.o"
+  "CMakeFiles/table2_page_size.dir/table2_page_size.cc.o.d"
+  "table2_page_size"
+  "table2_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_latency.dir/table3_latency.cc.o"
+  "CMakeFiles/table3_latency.dir/table3_latency.cc.o.d"
+  "table3_latency"
+  "table3_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tpcc.dir/table4_tpcc.cc.o"
+  "CMakeFiles/table4_tpcc.dir/table4_tpcc.cc.o.d"
+  "table4_tpcc"
+  "table4_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

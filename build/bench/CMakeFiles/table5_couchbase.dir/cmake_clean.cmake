@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_couchbase.dir/table5_couchbase.cc.o"
+  "CMakeFiles/table5_couchbase.dir/table5_couchbase.cc.o.d"
+  "table5_couchbase"
+  "table5_couchbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_couchbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

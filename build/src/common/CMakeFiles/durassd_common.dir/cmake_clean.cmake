@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_common.dir/crc32c.cc.o"
+  "CMakeFiles/durassd_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/durassd_common.dir/histogram.cc.o"
+  "CMakeFiles/durassd_common.dir/histogram.cc.o.d"
+  "CMakeFiles/durassd_common.dir/status.cc.o"
+  "CMakeFiles/durassd_common.dir/status.cc.o.d"
+  "libdurassd_common.a"
+  "libdurassd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cc" "src/db/CMakeFiles/durassd_db.dir/btree.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/btree.cc.o.d"
+  "/root/repo/src/db/buffer_pool.cc" "src/db/CMakeFiles/durassd_db.dir/buffer_pool.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/durassd_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/database.cc.o.d"
+  "/root/repo/src/db/double_write_buffer.cc" "src/db/CMakeFiles/durassd_db.dir/double_write_buffer.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/double_write_buffer.cc.o.d"
+  "/root/repo/src/db/page.cc" "src/db/CMakeFiles/durassd_db.dir/page.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/page.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/durassd_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/durassd_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/durassd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/durassd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_db.dir/btree.cc.o"
+  "CMakeFiles/durassd_db.dir/btree.cc.o.d"
+  "CMakeFiles/durassd_db.dir/buffer_pool.cc.o"
+  "CMakeFiles/durassd_db.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/durassd_db.dir/database.cc.o"
+  "CMakeFiles/durassd_db.dir/database.cc.o.d"
+  "CMakeFiles/durassd_db.dir/double_write_buffer.cc.o"
+  "CMakeFiles/durassd_db.dir/double_write_buffer.cc.o.d"
+  "CMakeFiles/durassd_db.dir/page.cc.o"
+  "CMakeFiles/durassd_db.dir/page.cc.o.d"
+  "CMakeFiles/durassd_db.dir/wal.cc.o"
+  "CMakeFiles/durassd_db.dir/wal.cc.o.d"
+  "libdurassd_db.a"
+  "libdurassd_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

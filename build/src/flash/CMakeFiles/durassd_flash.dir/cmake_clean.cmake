@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_flash.dir/flash_array.cc.o"
+  "CMakeFiles/durassd_flash.dir/flash_array.cc.o.d"
+  "libdurassd_flash.a"
+  "libdurassd_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_host.dir/sim_file.cc.o"
+  "CMakeFiles/durassd_host.dir/sim_file.cc.o.d"
+  "libdurassd_host.a"
+  "libdurassd_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_kv.dir/kvstore.cc.o"
+  "CMakeFiles/durassd_kv.dir/kvstore.cc.o.d"
+  "libdurassd_kv.a"
+  "libdurassd_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

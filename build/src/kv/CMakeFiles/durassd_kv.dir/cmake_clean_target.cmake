@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdurassd_kv.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/device_factory.cc" "src/ssd/CMakeFiles/durassd_ssd.dir/device_factory.cc.o" "gcc" "src/ssd/CMakeFiles/durassd_ssd.dir/device_factory.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/durassd_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/durassd_ssd.dir/ftl.cc.o.d"
+  "/root/repo/src/ssd/hdd_device.cc" "src/ssd/CMakeFiles/durassd_ssd.dir/hdd_device.cc.o" "gcc" "src/ssd/CMakeFiles/durassd_ssd.dir/hdd_device.cc.o.d"
+  "/root/repo/src/ssd/ssd_device.cc" "src/ssd/CMakeFiles/durassd_ssd.dir/ssd_device.cc.o" "gcc" "src/ssd/CMakeFiles/durassd_ssd.dir/ssd_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/durassd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/durassd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_ssd.dir/device_factory.cc.o"
+  "CMakeFiles/durassd_ssd.dir/device_factory.cc.o.d"
+  "CMakeFiles/durassd_ssd.dir/ftl.cc.o"
+  "CMakeFiles/durassd_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/durassd_ssd.dir/hdd_device.cc.o"
+  "CMakeFiles/durassd_ssd.dir/hdd_device.cc.o.d"
+  "CMakeFiles/durassd_ssd.dir/ssd_device.cc.o"
+  "CMakeFiles/durassd_ssd.dir/ssd_device.cc.o.d"
+  "libdurassd_ssd.a"
+  "libdurassd_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durassd_workloads.dir/fiosim.cc.o"
+  "CMakeFiles/durassd_workloads.dir/fiosim.cc.o.d"
+  "CMakeFiles/durassd_workloads.dir/linkbench.cc.o"
+  "CMakeFiles/durassd_workloads.dir/linkbench.cc.o.d"
+  "CMakeFiles/durassd_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/durassd_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/durassd_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/durassd_workloads.dir/ycsb.cc.o.d"
+  "libdurassd_workloads.a"
+  "libdurassd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durassd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

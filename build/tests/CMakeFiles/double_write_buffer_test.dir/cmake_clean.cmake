@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_write_buffer_test.dir/double_write_buffer_test.cc.o"
+  "CMakeFiles/double_write_buffer_test.dir/double_write_buffer_test.cc.o.d"
+  "double_write_buffer_test"
+  "double_write_buffer_test.pdb"
+  "double_write_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_write_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

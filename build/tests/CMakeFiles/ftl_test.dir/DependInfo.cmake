@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftl_test.cc" "tests/CMakeFiles/ftl_test.dir/ftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_test.dir/ftl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/durassd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/durassd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/durassd_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/durassd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/durassd_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/durassd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/durassd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

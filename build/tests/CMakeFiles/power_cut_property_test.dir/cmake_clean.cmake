@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cut_property_test.dir/power_cut_property_test.cc.o"
+  "CMakeFiles/power_cut_property_test.dir/power_cut_property_test.cc.o.d"
+  "power_cut_property_test"
+  "power_cut_property_test.pdb"
+  "power_cut_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cut_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

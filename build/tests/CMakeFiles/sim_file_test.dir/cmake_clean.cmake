@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_file_test.dir/sim_file_test.cc.o"
+  "CMakeFiles/sim_file_test.dir/sim_file_test.cc.o.d"
+  "sim_file_test"
+  "sim_file_test.pdb"
+  "sim_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

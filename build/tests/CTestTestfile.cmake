@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_array_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_device_test[1]_include.cmake")
+include("/root/repo/build/tests/page_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_file_test[1]_include.cmake")
+include("/root/repo/build/tests/hdd_device_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/double_write_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/power_cut_property_test[1]_include.cmake")
