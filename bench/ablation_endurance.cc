@@ -7,6 +7,7 @@
 // 4KB pages), comparing bytes the host sent to the data device and bytes
 // actually programmed into NAND.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/db_bench_util.h"
@@ -19,7 +20,13 @@ struct WriteVolume {
   double host_gib;
   double nand_gib;
   double write_amp;
+  uint64_t ecc_corrected;
+  uint64_t retired_blocks;
 };
+
+// NAND fault knobs (all-zero by default: output identical to a fault-free
+// build). Nonzero rates turn the run into an endurance-under-faults study.
+FaultInjector::Options g_faults;
 
 WriteVolume RunConfig(bool dwb, uint32_t page_size, uint64_t nodes,
                       uint64_t requests) {
@@ -28,6 +35,7 @@ WriteVolume RunConfig(bool dwb, uint32_t page_size, uint64_t nodes,
   rc.double_write = dwb;
   rc.page_size = page_size;
   rc.pool_bytes = nodes / 14 * kKiB;
+  rc.faults = g_faults;
   DbRig rig = MakeDbRig(rc);
 
   LinkBench::Config lc;
@@ -46,8 +54,16 @@ WriteVolume RunConfig(bool dwb, uint32_t page_size, uint64_t nodes,
   const double nand_bytes =
       static_cast<double>(rig.data_dev->flash().stats().programs - nand0) *
       rig.data_dev->config().geometry.page_size;
+  const SsdDevice::FaultStats fs = rig.data_dev->fault_stats();
   return {host_bytes / kGiB, nand_bytes / kGiB,
-          host_bytes > 0 ? nand_bytes / host_bytes : 0};
+          host_bytes > 0 ? nand_bytes / host_bytes : 0, fs.ecc_corrected,
+          fs.retired_blocks};
+}
+
+bool FaultsActive() {
+  return g_faults.read_bit_flip_mean > 0 ||
+         g_faults.read_bit_flip_per_erase > 0 ||
+         g_faults.program_fail_rate > 0 || g_faults.erase_fail_rate > 0;
 }
 
 void RunComparison(uint64_t nodes, uint64_t requests) {
@@ -67,6 +83,17 @@ void RunComparison(uint64_t nodes, uint64_t requests) {
     printf("  NAND write reduction: %.0f%% (paper claims > 50%%)\n",
            100.0 * (1.0 - dura.nand_gib / def.nand_gib));
   }
+  if (FaultsActive()) {
+    printf("  Fault handling (data device):\n");
+    printf("  %-34s %14s %14s\n", "configuration", "ECC corrected",
+           "retired blocks");
+    printf("  %-34s %14llu %14llu\n", "MySQL default (DWB on, 16KB)",
+           static_cast<unsigned long long>(def.ecc_corrected),
+           static_cast<unsigned long long>(def.retired_blocks));
+    printf("  %-34s %14llu %14llu\n", "DuraSSD mode  (DWB off, 4KB)",
+           static_cast<unsigned long long>(dura.ecc_corrected),
+           static_cast<unsigned long long>(dura.retired_blocks));
+  }
 }
 
 }  // namespace
@@ -79,6 +106,16 @@ int main(int argc, char** argv) {
     if (strcmp(argv[i], "--quick") == 0) {
       nodes = 30000;
       requests = 15000;
+    } else if (strncmp(argv[i], "--read-bitflip-mean=", 20) == 0) {
+      durassd::g_faults.read_bit_flip_mean = atof(argv[i] + 20);
+    } else if (strncmp(argv[i], "--read-bitflip-per-erase=", 25) == 0) {
+      durassd::g_faults.read_bit_flip_per_erase = atof(argv[i] + 25);
+    } else if (strncmp(argv[i], "--program-fail-rate=", 20) == 0) {
+      durassd::g_faults.program_fail_rate = atof(argv[i] + 20);
+    } else if (strncmp(argv[i], "--erase-fail-rate=", 18) == 0) {
+      durassd::g_faults.erase_fail_rate = atof(argv[i] + 18);
+    } else if (strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      durassd::g_faults.seed = strtoull(argv[i] + 13, nullptr, 0);
     }
   }
   durassd::RunComparison(nodes, requests);

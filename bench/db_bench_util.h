@@ -35,6 +35,10 @@ struct DbRigConfig {
   /// Device sized for bench working sets; store_data must be on (the
   /// engine pages really live there).
   uint32_t blocks_per_plane = 96;
+  /// NAND fault injection for both devices (all-zero: inert, numbers are
+  /// identical to a fault-free build).
+  FaultInjector::Options faults;
+  uint32_t ecc_correctable_bits = 8;
 };
 
 inline DbRig MakeDbRig(const DbRigConfig& cfg) {
@@ -42,6 +46,8 @@ inline DbRig MakeDbRig(const DbRigConfig& cfg) {
   SsdConfig dc = SsdConfig::DuraSsd();
   dc.geometry.blocks_per_plane = cfg.blocks_per_plane;
   dc.store_data = true;
+  dc.faults = cfg.faults;
+  dc.ecc_correctable_bits = cfg.ecc_correctable_bits;
   rig.data_dev = std::make_unique<SsdDevice>(dc);
   rig.log_dev = std::make_unique<SsdDevice>(dc);
 

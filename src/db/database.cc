@@ -439,13 +439,20 @@ Status Database::RepairTornPages(IoContext& io) {
     const SimFile::IoResult r = data_file_->Read(
         io.now, static_cast<uint64_t>(page_id) * opts_.page_size,
         opts_.page_size, &raw);
-    DURASSD_RETURN_IF_ERROR(r.status);
+    // An uncorrectable device read (ECC exhausted) of a page we hold a
+    // double-write copy of is repairable exactly like a torn page; every
+    // other read error still aborts recovery.
+    const bool device_corruption = r.status.IsCorruption();
+    if (!device_corruption) {
+      DURASSD_RETURN_IF_ERROR(r.status);
+    }
     io.AdvanceTo(r.done);
     raw.resize(opts_.page_size, '\0');
     Page page(opts_.page_size);
     page.CopyFrom(raw);
     const bool home_intact =
-        page.header()->magic == Page::kMagic && page.VerifyChecksum();
+        !device_corruption && page.header()->magic == Page::kMagic &&
+        page.VerifyChecksum();
     if (!home_intact) {
       const SimFile::IoResult w = data_file_->Write(
           io.now, static_cast<uint64_t>(page_id) * opts_.page_size, image);

@@ -1,0 +1,70 @@
+#include "flash/fault_model.h"
+
+#include <cmath>
+
+namespace durassd {
+
+uint32_t FaultInjector::SamplePoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  // Knuth's method; means here are small (a handful of bit errors per page)
+  // so the expected iteration count is tiny.
+  const double limit = std::exp(-mean);
+  double product = 1.0;
+  uint32_t count = 0;
+  do {
+    product *= rng_.NextDouble();
+    ++count;
+  } while (product > limit);
+  return count - 1;
+}
+
+uint32_t FaultInjector::OnRead(Ppn ppn, uint32_t erase_count) {
+  (void)ppn;
+  const uint64_t ordinal = reads_seen_++;
+  auto it = scripted_read_flips_.find(ordinal);
+  if (it != scripted_read_flips_.end()) {
+    const uint32_t bits = it->second;
+    scripted_read_flips_.erase(it);
+    return bits;
+  }
+  const double mean = opts_.read_bit_flip_mean +
+                      opts_.read_bit_flip_per_erase * erase_count;
+  if (mean <= 0.0) return 0;
+  return SamplePoisson(mean);
+}
+
+bool FaultInjector::OnProgram(Ppn ppn) {
+  (void)ppn;
+  const uint64_t ordinal = programs_seen_++;
+  auto it = scripted_program_fails_.find(ordinal);
+  if (it != scripted_program_fails_.end()) {
+    scripted_program_fails_.erase(it);
+    return true;
+  }
+  if (opts_.program_fail_rate <= 0.0) return false;
+  return rng_.Bernoulli(opts_.program_fail_rate);
+}
+
+bool FaultInjector::OnErase(uint32_t plane, uint32_t block) {
+  (void)plane;
+  (void)block;
+  const uint64_t ordinal = erases_seen_++;
+  auto it = scripted_erase_fails_.find(ordinal);
+  if (it != scripted_erase_fails_.end()) {
+    scripted_erase_fails_.erase(it);
+    return true;
+  }
+  if (opts_.erase_fail_rate <= 0.0) return false;
+  return rng_.Bernoulli(opts_.erase_fail_rate);
+}
+
+void FaultInjector::CorruptPage(std::string* page, uint32_t bits) {
+  if (page == nullptr || page->empty()) return;
+  const uint64_t total_bits = static_cast<uint64_t>(page->size()) * 8;
+  for (uint32_t i = 0; i < bits; ++i) {
+    const uint64_t bit = rng_.Uniform(total_bits);
+    (*page)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  }
+}
+
+}  // namespace durassd

@@ -1,0 +1,107 @@
+#ifndef DURASSD_FLASH_FAULT_MODEL_H_
+#define DURASSD_FLASH_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace durassd {
+
+/// Deterministic, seeded NAND fault injector. Decides, per media operation,
+/// whether and how the operation misbehaves:
+///
+///   - reads suffer raw bit errors whose expected count grows with the
+///     block's erase count (wear) — the ECC in the FTL corrects up to its
+///     budget, retries beyond it, and reports kCorruption past that,
+///   - programs can fail (the FTL retries on a fresh page and retires the
+///     block),
+///   - erases can fail (the block becomes a grown bad block).
+///
+/// Two mechanisms coexist:
+///   1. Rates: continuous per-operation probabilities, for property sweeps
+///      and endurance studies.
+///   2. Scripts: one-shot fault points keyed by operation ordinal ("fail the
+///      3rd program issued from now"), for targeted tests.
+///
+/// With all rates at zero and no scripted points the injector is inert: it
+/// consumes no randomness and every device behavior is bit-for-bit identical
+/// to a build without fault injection.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 0x5EEDFA11ull;
+    /// Mean raw bit errors per page read on a fresh (erase_count == 0)
+    /// block. Sampled per read (Poisson).
+    double read_bit_flip_mean = 0.0;
+    /// Additional mean raw bit errors per erase cycle of the block being
+    /// read — wear makes reads noisier.
+    double read_bit_flip_per_erase = 0.0;
+    /// Probability that a page program fails (status fail from the die).
+    double program_fail_rate = 0.0;
+    /// Probability that a block erase fails, growing a bad block.
+    double erase_fail_rate = 0.0;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Options& options)
+      : opts_(options), rng_(options.seed) {}
+
+  const Options& options() const { return opts_; }
+
+  /// True when any fault can ever fire. Checked by the flash array before
+  /// every decision point so the zero-fault configuration stays on the
+  /// exact seed code path.
+  bool enabled() const {
+    return opts_.read_bit_flip_mean > 0 || opts_.read_bit_flip_per_erase > 0 ||
+           opts_.program_fail_rate > 0 || opts_.erase_fail_rate > 0 ||
+           !scripted_read_flips_.empty() || !scripted_program_fails_.empty() ||
+           !scripted_erase_fails_.empty();
+  }
+
+  // --- Decision points (called by FlashArray, one per media op) ---
+
+  /// Raw bit errors for this page read (0 = clean read).
+  uint32_t OnRead(Ppn ppn, uint32_t erase_count);
+  /// True when this program must fail.
+  bool OnProgram(Ppn ppn);
+  /// True when this erase must fail.
+  bool OnErase(uint32_t plane, uint32_t block);
+
+  // --- Scripted one-shot fault points ---
+  // `n` counts matching operations from the moment of scripting: 0 fires on
+  // the very next one. Each point fires exactly once.
+
+  void FailProgramAfter(uint64_t n) {
+    scripted_program_fails_.insert(programs_seen_ + n);
+  }
+  void FailEraseAfter(uint64_t n) {
+    scripted_erase_fails_.insert(erases_seen_ + n);
+  }
+  void FlipBitsOnReadAfter(uint64_t n, uint32_t bits) {
+    scripted_read_flips_[reads_seen_ + n] = bits;
+  }
+
+  /// Deterministically flips `bits` bit positions in `page`. Used to
+  /// materialize an uncorrectable read as actual corrupted bytes.
+  void CorruptPage(std::string* page, uint32_t bits);
+
+ private:
+  uint32_t SamplePoisson(double mean);
+
+  Options opts_;
+  Random rng_{0x5EEDFA11ull};
+  uint64_t reads_seen_ = 0;
+  uint64_t programs_seen_ = 0;
+  uint64_t erases_seen_ = 0;
+  std::map<uint64_t, uint32_t> scripted_read_flips_;
+  std::set<uint64_t> scripted_program_fails_;
+  std::set<uint64_t> scripted_erase_fails_;
+};
+
+}  // namespace durassd
+
+#endif  // DURASSD_FLASH_FAULT_MODEL_H_

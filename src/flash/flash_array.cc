@@ -4,7 +4,8 @@
 
 namespace durassd {
 
-FlashArray::FlashArray(Options options) : opts_(std::move(options)) {
+FlashArray::FlashArray(Options options)
+    : opts_(std::move(options)), faults_(opts_.faults) {
   const FlashGeometry& g = opts_.geometry;
   planes_.resize(g.total_planes());
   for (auto& plane : planes_) {
@@ -21,7 +22,8 @@ SimTime FlashArray::ReserveChannel(uint32_t channel, SimTime t) {
   return channel_busy_[channel];
 }
 
-SimTime FlashArray::ReadPage(SimTime now, Ppn ppn, std::string* out) {
+SimTime FlashArray::ReadPage(SimTime now, Ppn ppn, std::string* out,
+                             uint32_t* raw_bit_errors) {
   const FlashGeometry& g = opts_.geometry;
   max_seen_time_ = std::max(max_seen_time_, now);
   stats_.reads++;
@@ -41,6 +43,18 @@ SimTime FlashArray::ReadPage(SimTime now, Ppn ppn, std::string* out) {
       out->assign(g.page_size, '\0');
     }
   }
+  if (raw_bit_errors != nullptr) *raw_bit_errors = 0;
+  if (faults_.enabled()) {
+    const uint32_t raw = faults_.OnRead(
+        ppn, BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn)).erase_count);
+    if (raw_bit_errors != nullptr) {
+      // ECC-aware caller: report the raw error count, keep `out` pristine.
+      *raw_bit_errors = raw;
+    } else if (raw > 0 && out != nullptr) {
+      // Raw-media caller: the flips land in the returned bytes.
+      faults_.CorruptPage(out, raw);
+    }
+  }
   return done;
 }
 
@@ -57,6 +71,9 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
     return Status::IoError("program to non-erased page");
   }
   Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
+  if (block.bad) {
+    return Status::IoError("program to bad block");
+  }
   if (g.PageOf(ppn) != block.next_page) {
     return Status::IoError("out-of-order program within block");
   }
@@ -72,6 +89,19 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
   const SimTime prog_done = prog_start + g.program_latency;
   plane.busy_until = prog_done;
 
+  if (faults_.enabled() && faults_.OnProgram(ppn)) {
+    // The die reports program-status fail after the full program time. The
+    // page is consumed (in-order cursor advances) but holds nothing usable;
+    // the FTL must retry elsewhere and retire the block.
+    stats_.program_fails++;
+    states_[ppn] = PageState::kInvalid;
+    torn_[ppn] = true;
+    block.next_page++;
+    data_.erase(ppn);
+    *done = prog_done;
+    return Status::IoError("program failed");
+  }
+
   states_[ppn] = PageState::kValid;
   torn_[ppn] = false;
   block.next_page++;
@@ -86,18 +116,32 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
   return Status::OK();
 }
 
-SimTime FlashArray::EraseBlock(SimTime now, uint32_t plane_idx,
-                               uint32_t block_idx) {
+Status FlashArray::EraseBlock(SimTime now, uint32_t plane_idx,
+                              uint32_t block_idx, SimTime* done_out) {
   const FlashGeometry& g = opts_.geometry;
   max_seen_time_ = std::max(max_seen_time_, now);
   PruneInFlight(now);
-  stats_.erases++;
 
   Plane& plane = planes_[plane_idx];
   Block& block = plane.blocks[block_idx];
+  if (block.bad) {
+    if (done_out != nullptr) *done_out = now;
+    return Status::IoError("erase of bad block");
+  }
+  stats_.erases++;
   const SimTime start = std::max(now, plane.busy_until);
   const SimTime done = start + g.erase_latency;
   plane.busy_until = done;
+  if (done_out != nullptr) *done_out = done;
+
+  if (faults_.enabled() && faults_.OnErase(plane_idx, block_idx)) {
+    // Erase-status fail: the block becomes a grown bad block. Its contents
+    // are indeterminate, so nothing may trust or reuse it.
+    stats_.erase_fails++;
+    block.erase_count++;  // The failed cycle still stressed the cells.
+    MarkBad(plane_idx, block_idx);
+    return Status::IoError("erase failed");
+  }
 
   const Ppn first = g.MakePpn(plane_idx, block_idx, 0);
   for (uint32_t p = 0; p < g.pages_per_block; ++p) {
@@ -109,7 +153,27 @@ SimTime FlashArray::EraseBlock(SimTime now, uint32_t plane_idx,
   block.next_page = 0;
   block.valid_count = 0;
   inflight_erases_.push_back({plane_idx, block_idx, start, done});
-  return done;
+  return Status::OK();
+}
+
+void FlashArray::MarkBad(uint32_t plane_idx, uint32_t block_idx) {
+  const FlashGeometry& g = opts_.geometry;
+  Block& block = BlockAt(plane_idx, block_idx);
+  block.bad = true;
+  block.valid_count = 0;
+  block.next_page = g.pages_per_block;  // No page is programmable.
+  stats_.bad_blocks++;
+  const Ppn first = g.MakePpn(plane_idx, block_idx, 0);
+  for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+    states_[first + p] = PageState::kInvalid;
+    torn_[first + p] = true;
+    data_.erase(first + p);
+  }
+}
+
+void FlashArray::RetireBlock(uint32_t plane_idx, uint32_t block_idx) {
+  if (BlockAt(plane_idx, block_idx).bad) return;
+  MarkBad(plane_idx, block_idx);
 }
 
 void FlashArray::MarkInvalid(Ppn ppn) {

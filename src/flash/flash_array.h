@@ -9,6 +9,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "flash/fault_model.h"
 #include "flash/geometry.h"
 
 namespace durassd {
@@ -37,6 +38,9 @@ class FlashArray {
     /// When false, page contents are not stored (timing-only mode for large
     /// benchmarks); reads return zeros.
     bool store_data = true;
+    /// NAND fault injection. All-zero rates (the default) keep the array
+    /// bit-for-bit identical to a fault-free build.
+    FaultInjector::Options faults{};
   };
 
   explicit FlashArray(Options options);
@@ -50,15 +54,46 @@ class FlashArray {
   /// is resized to page_size. Reading a free page yields zeros. Returns the
   /// virtual completion time. A torn page is returned as-is (the half-old
   /// half-new bytes); callers detect it via checksums, exactly like a host.
-  SimTime ReadPage(SimTime now, Ppn ppn, std::string* out);
+  ///
+  /// Raw NAND bit errors (from the fault injector, scaling with the block's
+  /// wear) are reported two ways:
+  ///   - `raw_bit_errors != nullptr`: the caller is ECC-aware. `out` gets the
+  ///     pristine stored bytes and `*raw_bit_errors` the rolled raw error
+  ///     count; the caller decides correct/retry/corrupt (the FTL's job).
+  ///   - `raw_bit_errors == nullptr`: the caller reads raw media. Bit flips
+  ///     are applied to `out` directly.
+  SimTime ReadPage(SimTime now, Ppn ppn, std::string* out,
+                   uint32_t* raw_bit_errors = nullptr);
 
   /// Programs an erased page. Enforces NAND constraints: the page must be
   /// free and must be the next unwritten page of its block (in-order
   /// programming). `done` receives the completion time.
+  ///
+  /// An injected program failure returns IoError after charging the full
+  /// program latency; the page is left unusable (invalid, no data) and the
+  /// in-order cursor advances past it, as on real NAND where a failed
+  /// program still consumes the page.
   Status ProgramPage(SimTime now, Ppn ppn, Slice data, SimTime* done);
 
-  /// Erases a whole block, returning all its pages to kFree.
-  SimTime EraseBlock(SimTime now, uint32_t plane, uint32_t block);
+  /// Erases a whole block, returning all its pages to kFree. `done` (if
+  /// non-null) receives the completion time.
+  ///
+  /// An injected erase failure grows a bad block: every page becomes
+  /// invalid, the block refuses further programs/erases, and IoError is
+  /// returned. The block stays bad across power cycles.
+  Status EraseBlock(SimTime now, uint32_t plane, uint32_t block,
+                    SimTime* done = nullptr);
+
+  /// Marks a block bad at the FTL's request (e.g. after a program failure,
+  /// once its live data has been relocated). Pages become invalid and the
+  /// block is excluded from further use.
+  void RetireBlock(uint32_t plane, uint32_t block);
+
+  bool is_bad_block(uint32_t plane, uint32_t block) const {
+    return BlockAt(plane, block).bad;
+  }
+
+  FaultInjector& fault_injector() { return faults_; }
 
   /// Marks a valid page invalid (superseded); bookkeeping only, free of cost.
   void MarkInvalid(Ppn ppn);
@@ -97,6 +132,9 @@ class FlashArray {
     uint64_t programs = 0;
     uint64_t erases = 0;
     uint64_t torn_pages = 0;
+    uint64_t program_fails = 0;  ///< Injected page-program failures.
+    uint64_t erase_fails = 0;    ///< Injected block-erase failures.
+    uint64_t bad_blocks = 0;     ///< Grown bad blocks (erase-fail + retired).
   };
   const Stats& stats() const { return stats_; }
 
@@ -105,6 +143,7 @@ class FlashArray {
     uint32_t erase_count = 0;
     uint32_t next_page = 0;   ///< In-order programming cursor.
     uint32_t valid_count = 0;
+    bool bad = false;         ///< Grown bad block; permanently out of service.
   };
   struct Plane {
     SimTime busy_until = 0;
@@ -131,6 +170,9 @@ class FlashArray {
   /// Reserves the channel for one page transfer starting no earlier than t.
   SimTime ReserveChannel(uint32_t channel, SimTime t);
   void PruneInFlight(SimTime now);
+  /// Shared tail of EraseBlock-failure and RetireBlock: poisons every page
+  /// and takes the block out of service.
+  void MarkBad(uint32_t plane, uint32_t block);
 
   Options opts_;
   std::vector<Plane> planes_;
@@ -142,6 +184,7 @@ class FlashArray {
   std::vector<InFlightErase> inflight_erases_;
   SimTime max_seen_time_ = 0;
   Stats stats_;
+  FaultInjector faults_;
 };
 
 }  // namespace durassd

@@ -15,10 +15,17 @@ Ftl::Ftl(FlashArray* flash, Options options)
   assert(opts_.dump_blocks_per_plane < g.blocks_per_plane);
 
   first_dump_block_ = g.blocks_per_plane - opts_.dump_blocks_per_plane;
-  dump_area_pages_ =
-      opts_.dump_blocks_per_plane * g.total_planes() * g.pages_per_block;
+  dump_ppns_.reserve(static_cast<size_t>(opts_.dump_blocks_per_plane) *
+                     g.total_planes() * g.pages_per_block);
+  for (uint32_t plane = 0; plane < g.total_planes(); ++plane) {
+    for (uint32_t b = first_dump_block_; b < g.blocks_per_plane; ++b) {
+      for (uint32_t p = 0; p < g.pages_per_block; ++p) {
+        dump_ppns_.push_back(g.MakePpn(plane, b, p));
+      }
+    }
+  }
 
-  const uint64_t dump_bytes = static_cast<uint64_t>(dump_area_pages_) *
+  const uint64_t dump_bytes = static_cast<uint64_t>(dump_ppns_.size()) *
                               g.page_size;
   const double usable =
       (static_cast<double>(g.total_bytes()) - static_cast<double>(dump_bytes)) *
@@ -47,6 +54,12 @@ StatusOr<Ppn> Ftl::AllocatePage(SimTime now, uint32_t plane_idx, bool for_gc) {
   }
 
   if (plane.active_block == ~0u || plane.next_page >= g.pages_per_block) {
+    // A block can go bad while parked on the free list (e.g. a failed dump
+    // erase); skip those.
+    while (!plane.free_blocks.empty() &&
+           flash_->is_bad_block(plane_idx, plane.free_blocks.back())) {
+      plane.free_blocks.pop_back();
+    }
     if (plane.free_blocks.empty()) {
       return Status::OutOfSpace("plane has no erased blocks");
     }
@@ -57,6 +70,84 @@ StatusOr<Ppn> Ftl::AllocatePage(SimTime now, uint32_t plane_idx, bool for_gc) {
   const Ppn ppn = g.MakePpn(plane_idx, plane.active_block, plane.next_page);
   plane.next_page++;
   return ppn;
+}
+
+StatusOr<Ppn> Ftl::AllocateAndProgram(SimTime now, uint32_t plane_idx,
+                                      bool for_gc, Slice data, SimTime* done) {
+  const FlashGeometry& g = flash_->geometry();
+  for (uint32_t attempt = 0; attempt <= opts_.program_retry_limit; ++attempt) {
+    StatusOr<Ppn> ppn_or = AllocatePage(now, plane_idx, for_gc);
+    if (!ppn_or.ok()) return ppn_or;
+    const Ppn ppn = *ppn_or;
+    Status st = flash_->ProgramPage(now, ppn, data, done);
+    if (st.ok()) return ppn;
+    if (!st.IsIoError()) return st;
+    // The die reported program failure. Close the block, queue it for
+    // retirement (its live pages move out in DrainRetirements), and retry
+    // on a fresh one.
+    stats_.program_retries++;
+    QueueRetirement(plane_idx, g.BlockOf(ppn));
+  }
+  return Status::IoError("program retries exhausted");
+}
+
+Status Ftl::ReadPageChecked(SimTime now, Ppn ppn, std::string* page,
+                            SimTime* done) {
+  uint32_t raw = 0;
+  SimTime t = flash_->ReadPage(now, ppn, page, &raw);
+  for (uint32_t retry = 0;
+       raw > opts_.ecc_correctable_bits && retry < opts_.read_retry_limit;
+       ++retry) {
+    // Read-retry: re-sense with shifted thresholds; each attempt rolls a
+    // fresh raw error count and costs a full page read.
+    stats_.read_retries++;
+    t = flash_->ReadPage(t, ppn, page, &raw);
+  }
+  if (done != nullptr) *done = t;
+  if (raw > opts_.ecc_correctable_bits) {
+    stats_.uncorrectable_reads++;
+    if (page != nullptr) flash_->fault_injector().CorruptPage(page, raw);
+    return Status::Corruption("uncorrectable NAND read");
+  }
+  stats_.ecc_corrected += raw;
+  return Status::OK();
+}
+
+bool Ftl::IsRetirePending(uint32_t plane, uint32_t block) const {
+  for (const auto& [p, b] : retire_pending_) {
+    if (p == plane && b == block) return true;
+  }
+  return false;
+}
+
+void Ftl::QueueRetirement(uint32_t plane_idx, uint32_t block) {
+  PlaneAlloc& plane = planes_[plane_idx];
+  if (plane.active_block == block) {
+    plane.active_block = ~0u;
+    plane.next_page = 0;
+  }
+  std::erase(plane.free_blocks, block);
+  if (flash_->is_bad_block(plane_idx, block)) return;
+  if (IsRetirePending(plane_idx, block)) return;
+  retire_pending_.emplace_back(plane_idx, block);
+}
+
+void Ftl::DrainRetirements(SimTime now) {
+  // Worklist, not recursion: a program failure during relocation queues
+  // another block and this loop picks it up.
+  while (!retire_pending_.empty()) {
+    const auto [plane, block] = retire_pending_.back();
+    retire_pending_.pop_back();
+    Status st = RelocateLiveSectors(now, plane, block);
+    if (!st.ok()) {
+      // Could not move the live data out (e.g. out of space). Leave the
+      // block pending: it is excluded from allocation and GC, its pages
+      // stay readable, and retirement is retried on the next program.
+      retire_pending_.emplace_back(plane, block);
+      return;
+    }
+    flash_->RetireBlock(plane, block);
+  }
 }
 
 void Ftl::KillSlot(uint64_t packed) {
@@ -92,33 +183,35 @@ Status Ftl::ProgramSectors(SimTime now,
   if (sectors.empty() || sectors.size() > sectors_per_page_) {
     return Status::InvalidArgument("bad sector count for one program");
   }
+  const bool have_data = sectors[0].data != nullptr;
   for (const SectorWrite& s : sectors) {
     if (s.lpn >= logical_sectors_) {
       return Status::InvalidArgument("lpn beyond logical capacity");
+    }
+    if (have_data &&
+        (s.data == nullptr || s.data->size() != opts_.sector_size)) {
+      return Status::InvalidArgument("sector data size mismatch");
     }
   }
 
   const uint32_t plane_idx = rr_plane_;
   rr_plane_ = (rr_plane_ + 1) % planes_.size();
 
-  StatusOr<Ppn> ppn_or = AllocatePage(now, plane_idx, /*for_gc=*/false);
-  if (!ppn_or.ok()) return ppn_or.status();
-  const Ppn ppn = *ppn_or;
-
   // Assemble the physical page: live sectors first, rest stays erased.
   std::string page_data;
-  const bool have_data = sectors[0].data != nullptr;
   if (have_data) {
     page_data.reserve(flash_->geometry().page_size);
     for (const SectorWrite& s : sectors) {
-      assert(s.data != nullptr && s.data->size() == opts_.sector_size);
       page_data.append(*s.data);
     }
   }
 
   SimTime prog_done = 0;
-  DURASSD_RETURN_IF_ERROR(
-      flash_->ProgramPage(now, ppn, page_data, &prog_done));
+  StatusOr<Ppn> ppn_or =
+      AllocateAndProgram(now, plane_idx, /*for_gc=*/false, page_data,
+                         &prog_done);
+  if (!ppn_or.ok()) return ppn_or.status();
+  const Ppn ppn = *ppn_or;
   stats_.host_programs++;
   // ProgramPage's completion includes channel wait; its start is what the
   // torn-write model keys on. Recompute conservatively as now (transfer
@@ -134,34 +227,41 @@ Status Ftl::ProgramSectors(SimTime now,
     reverse_[ppn * sectors_per_page_ + slot] = lpn;
   }
 
+  // Blocks that failed a program during this call get their live data
+  // moved out and are taken out of service.
+  DrainRetirements(now);
+
   *start = prog_start;
   *done = prog_done;
   return Status::OK();
 }
 
-SimTime Ftl::ReadSector(SimTime now, Lpn lpn, std::string* out, bool* torn) {
+Status Ftl::ReadSector(SimTime now, Lpn lpn, std::string* out, SimTime* done,
+                       bool* torn) {
   if (torn != nullptr) *torn = false;
   auto it = map_.find(lpn);
   if (it == map_.end()) {
     if (out != nullptr) out->assign(opts_.sector_size, '\0');
-    return now;  // Map lookup only; no media access.
+    if (done != nullptr) *done = now;  // Map lookup only; no media access.
+    return Status::OK();
   }
   const Ppn ppn = PpnOf(it->second);
   const uint32_t slot = SlotOf(it->second);
 
   std::string page;
-  const SimTime done = flash_->ReadPage(now, ppn, out ? &page : nullptr);
+  const Status st = ReadPageChecked(now, ppn, out ? &page : nullptr, done);
   if (out != nullptr) {
+    // Even on an uncorrectable read the (corrupted) bytes are handed back,
+    // so host-level checksums observe the damage instead of a silent zero.
     out->assign(page, static_cast<size_t>(slot) * opts_.sector_size,
                 opts_.sector_size);
     out->resize(opts_.sector_size, '\0');
   }
   if (torn != nullptr) *torn = flash_->IsTorn(ppn);
-  return done;
+  return st;
 }
 
 Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
-  const FlashGeometry& g = flash_->geometry();
   PlaneAlloc& plane = planes_[plane_idx];
   stats_.gc_runs++;
 
@@ -172,6 +272,8 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   uint32_t best_wear = std::numeric_limits<uint32_t>::max();
   for (uint32_t b = 0; b < first_dump_block_; ++b) {
     if (b == plane.active_block) continue;
+    if (flash_->is_bad_block(plane_idx, b)) continue;
+    if (IsRetirePending(plane_idx, b)) continue;
     if (std::find(plane.free_blocks.begin(), plane.free_blocks.end(), b) !=
         plane.free_blocks.end()) {
       continue;
@@ -188,17 +290,38 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
     return Status::OutOfSpace("gc found no victim block");
   }
 
-  // Relocate live sectors, re-pairing them two per program.
+  DURASSD_RETURN_IF_ERROR(RelocateLiveSectors(now, plane_idx, victim));
+
+  SimTime erase_done = 0;
+  const Status erase_st =
+      flash_->EraseBlock(now, plane_idx, victim, &erase_done);
+  if (erase_st.ok()) {
+    stats_.gc_erases++;
+    plane.free_blocks.push_back(victim);
+  }
+  // An erase failure grew a bad block: nothing was reclaimed, but the live
+  // data already moved out, so GC itself still succeeded.
+  return Status::OK();
+}
+
+Status Ftl::RelocateLiveSectors(SimTime now, uint32_t plane_idx,
+                                uint32_t block) {
+  const FlashGeometry& g = flash_->geometry();
+
+  // Collect live sectors, re-pairing them two per program.
   std::vector<std::pair<Lpn, std::string>> live;
   for (uint32_t p = 0; p < g.pages_per_block; ++p) {
-    const Ppn ppn = g.MakePpn(plane_idx, victim, p);
+    const Ppn ppn = g.MakePpn(plane_idx, block, p);
     std::string page;
     bool read_done = false;
     for (uint32_t s = 0; s < sectors_per_page_; ++s) {
       const Lpn lpn = reverse_[ppn * sectors_per_page_ + s];
       if (lpn == kInvalidLpn) continue;
       if (!read_done) {
-        flash_->ReadPage(now, ppn, &page);
+        // An uncorrectable read here is not fatal to the move: the bytes
+        // (with their damage) still travel, and host checksums catch it.
+        Status read_st = ReadPageChecked(now, ppn, &page, nullptr);
+        (void)read_st;
         stats_.gc_reads++;
         read_done = true;
       }
@@ -211,10 +334,6 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   }
 
   for (size_t i = 0; i < live.size(); i += sectors_per_page_) {
-    StatusOr<Ppn> dst_or = AllocatePage(now, plane_idx, /*for_gc=*/true);
-    if (!dst_or.ok()) return dst_or.status();
-    const Ppn dst = *dst_or;
-
     std::string page_data;
     const size_t count = std::min<size_t>(sectors_per_page_, live.size() - i);
     for (size_t j = 0; j < count; ++j) {
@@ -223,7 +342,10 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
       }
     }
     SimTime done = 0;
-    DURASSD_RETURN_IF_ERROR(flash_->ProgramPage(now, dst, page_data, &done));
+    StatusOr<Ppn> dst_or =
+        AllocateAndProgram(now, plane_idx, /*for_gc=*/true, page_data, &done);
+    if (!dst_or.ok()) return dst_or.status();
+    const Ppn dst = *dst_or;
     stats_.gc_programs++;
     for (size_t j = 0; j < count; ++j) {
       const Lpn lpn = live[i + j].first;
@@ -238,14 +360,21 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
     }
   }
 
-  // Rollback targets living in the victim are about to be erased for good:
-  // a real controller journals the mapping before erasing, so these entries
-  // are effectively persisted now and can no longer roll back.
+  ForcePersistDeltaIn(plane_idx, block);
+  return Status::OK();
+}
+
+void Ftl::ForcePersistDeltaIn(uint32_t plane_idx, uint32_t block) {
+  const FlashGeometry& g = flash_->geometry();
+  // Rollback targets living in the block are about to be erased (or
+  // retired) for good: a real controller journals the mapping before
+  // erasing, so these entries are effectively persisted now and can no
+  // longer roll back.
   for (auto it = delta_.begin(); it != delta_.end();) {
     bool drop = false;
     if (it->second.old_packed != kUnmapped) {
       const Ppn old_ppn = PpnOf(it->second.old_packed);
-      if (g.PlaneOf(old_ppn) == plane_idx && g.BlockOf(old_ppn) == victim) {
+      if (g.PlaneOf(old_ppn) == plane_idx && g.BlockOf(old_ppn) == block) {
         drop = true;
       }
     }
@@ -256,11 +385,6 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
       ++it;
     }
   }
-
-  flash_->EraseBlock(now, plane_idx, victim);
-  stats_.gc_erases++;
-  plane.free_blocks.push_back(victim);
-  return Status::OK();
 }
 
 void Ftl::PersistMapping() { delta_.clear(); }
@@ -300,29 +424,24 @@ void Ftl::PowerCutRollback(SimTime t, bool expose_started_programs) {
 }
 
 Ppn Ftl::DumpAreaPpn(uint32_t index) const {
-  const FlashGeometry& g = flash_->geometry();
-  const uint32_t pages_per_plane_dump =
-      opts_.dump_blocks_per_plane * g.pages_per_block;
-  const uint32_t plane = index / pages_per_plane_dump;
-  const uint32_t rem = index % pages_per_plane_dump;
-  const uint32_t block = first_dump_block_ + rem / g.pages_per_block;
-  const uint32_t page = rem % g.pages_per_block;
-  return g.MakePpn(plane, block, page);
+  assert(index < dump_ppns_.size());
+  return dump_ppns_[index];
 }
 
 Status Ftl::ProgramDumpPage(uint32_t index, Slice data) {
-  if (index >= dump_area_pages_) {
+  if (index >= dump_ppns_.size()) {
     return Status::OutOfSpace("dump area exhausted");
   }
   SimTime done = 0;
   // Timing is irrelevant on capacitor power; issue at the end of time seen.
-  return flash_->ProgramPage(0, DumpAreaPpn(index), data, &done);
+  return flash_->ProgramPage(0, dump_ppns_[index], data, &done);
 }
 
-std::string Ftl::ReadDumpPage(uint32_t index) {
-  std::string page;
-  flash_->ReadPage(0, DumpAreaPpn(index), &page);
-  return page;
+Status Ftl::ReadDumpPage(uint32_t index, std::string* out) {
+  if (index >= dump_ppns_.size()) {
+    return Status::InvalidArgument("dump page index out of range");
+  }
+  return ReadPageChecked(0, dump_ppns_[index], out, nullptr);
 }
 
 SimTime Ftl::EraseDumpArea(SimTime now) {
@@ -330,10 +449,21 @@ SimTime Ftl::EraseDumpArea(SimTime now) {
   SimTime done = now;
   for (uint32_t plane = 0; plane < g.total_planes(); ++plane) {
     for (uint32_t b = first_dump_block_; b < g.blocks_per_plane; ++b) {
+      if (flash_->is_bad_block(plane, b)) continue;
       if (flash_->next_program_page(plane, b) == 0) {
         continue;  // Already clean.
       }
-      done = std::max(done, flash_->EraseBlock(now, plane, b));
+      SimTime erase_done = 0;
+      const Status st = flash_->EraseBlock(now, plane, b, &erase_done);
+      if (!st.ok()) {
+        // Grown bad dump block: drop its pages from the dump sequence so
+        // future dumps skip it. Capacity shrinks; correctness holds.
+        std::erase_if(dump_ppns_, [&](Ppn p) {
+          return g.PlaneOf(p) == plane && g.BlockOf(p) == b;
+        });
+        continue;
+      }
+      done = std::max(done, erase_done);
     }
   }
   return done;

@@ -32,6 +32,14 @@ class Ftl {
     double over_provision = 0.07;
     uint32_t gc_free_block_threshold = 2;
     uint32_t dump_blocks_per_plane = 2;
+    // --- ECC / fault handling (only exercised when faults are injected) ---
+    /// Raw bit errors per page the ECC corrects in one shot.
+    uint32_t ecc_correctable_bits = 8;
+    /// Re-reads attempted when the raw error count exceeds the ECC budget
+    /// (real controllers retry with shifted read voltages).
+    uint32_t read_retry_limit = 4;
+    /// Fresh pages tried when a program reports failure before giving up.
+    uint32_t program_retry_limit = 3;
   };
 
   struct SectorWrite {
@@ -46,6 +54,10 @@ class Ftl {
     uint64_t gc_programs = 0;
     uint64_t gc_erases = 0;
     uint64_t forced_persists = 0;  ///< Delta entries force-persisted by GC.
+    uint64_t ecc_corrected = 0;       ///< Raw bit errors corrected by ECC.
+    uint64_t read_retries = 0;        ///< Re-reads past the ECC budget.
+    uint64_t uncorrectable_reads = 0; ///< Reads lost despite retries.
+    uint64_t program_retries = 0;     ///< Programs retried on a fresh page.
   };
 
   Ftl(FlashArray* flash, Options options);
@@ -65,10 +77,14 @@ class Ftl {
                         SimTime* start, SimTime* done);
 
   /// Reads one logical sector. Unmapped sectors read as zeros with zero
-  /// media cost beyond the firmware's map lookup. `torn`, if non-null,
-  /// reports whether the backing physical page was shorn by a power cut.
-  SimTime ReadSector(SimTime now, Lpn lpn, std::string* out,
-                     bool* torn = nullptr);
+  /// media cost beyond the firmware's map lookup. `done`, if non-null,
+  /// receives the virtual completion time (including any ECC read-retries).
+  /// `torn`, if non-null, reports whether the backing physical page was
+  /// shorn by a power cut. Returns kCorruption when raw bit errors exceed
+  /// the ECC budget after all retries; `out` then holds the corrupted bytes
+  /// so the host's checksums can see the damage.
+  Status ReadSector(SimTime now, Lpn lpn, std::string* out,
+                    SimTime* done = nullptr, bool* torn = nullptr);
 
   bool IsMapped(Lpn lpn) const { return map_.count(lpn) != 0; }
 
@@ -85,14 +101,22 @@ class Ftl {
   std::vector<Lpn> DirtyMappingLpns() const;
 
   // --- Dump area (Sec. 3.4.1): reserved clean blocks, one dump page per
-  // cached sector, always erased during normal operation. ---
-  uint32_t dump_area_pages() const { return dump_area_pages_; }
+  // cached sector, always erased during normal operation. A dump block
+  // whose erase fails is dropped from the sequence (grown bad block), so
+  // the page count can shrink over the device's life. ---
+  uint32_t dump_area_pages() const {
+    return static_cast<uint32_t>(dump_ppns_.size());
+  }
   Ppn DumpAreaPpn(uint32_t index) const;
   /// Programs `data` into the index-th dump page, bypassing the mapping.
   /// Used on capacitor power, so the caller ignores timing.
   Status ProgramDumpPage(uint32_t index, Slice data);
-  std::string ReadDumpPage(uint32_t index);
-  /// Erases all dump blocks; returns completion time.
+  /// Reads the index-th dump page through ECC. Returns InvalidArgument for
+  /// an out-of-range index and kCorruption for an uncorrectable read (the
+  /// corrupted bytes are still placed in `out` for the caller's checksums).
+  Status ReadDumpPage(uint32_t index, std::string* out);
+  /// Erases all dump blocks; returns completion time. Blocks whose erase
+  /// fails become grown bad blocks and leave the dump sequence.
   SimTime EraseDumpArea(SimTime now);
 
   const Stats& stats() const { return stats_; }
@@ -127,7 +151,29 @@ class Ftl {
   /// running GC when the plane is short on free blocks. `for_gc` allocs
   /// skip the GC trigger (they consume the reserved headroom).
   StatusOr<Ppn> AllocatePage(SimTime now, uint32_t plane, bool for_gc);
+  /// AllocatePage + ProgramPage with transparent retry: a program that
+  /// reports failure closes the block, queues it for retirement, and tries
+  /// again on a fresh page (up to program_retry_limit times).
+  StatusOr<Ppn> AllocateAndProgram(SimTime now, uint32_t plane, bool for_gc,
+                                   Slice data, SimTime* done);
+  /// Reads a full physical page through the ECC model: up to
+  /// read_retry_limit re-reads while the raw error count exceeds
+  /// ecc_correctable_bits, then kCorruption (with the bit flips
+  /// materialized into `page`) if still over budget.
+  Status ReadPageChecked(SimTime now, Ppn ppn, std::string* page,
+                         SimTime* done);
   Status RunGc(SimTime now, uint32_t plane);
+  /// Moves every live sector out of the block (shared by GC and block
+  /// retirement), then force-persists delta entries whose rollback target
+  /// lives inside it.
+  Status RelocateLiveSectors(SimTime now, uint32_t plane, uint32_t block);
+  void ForcePersistDeltaIn(uint32_t plane, uint32_t block);
+  /// Marks a block for retirement after a program failure. Actual
+  /// retirement (relocation + RetireBlock) happens in DrainRetirements so
+  /// a failure during relocation cannot recurse.
+  void QueueRetirement(uint32_t plane, uint32_t block);
+  void DrainRetirements(SimTime now);
+  bool IsRetirePending(uint32_t plane, uint32_t block) const;
   void KillSlot(uint64_t packed);
   void RecordDelta(Lpn lpn, SimTime start, SimTime done);
   bool IsDumpBlock(uint32_t block) const {
@@ -139,8 +185,10 @@ class Ftl {
   uint32_t sectors_per_page_;
   uint64_t logical_sectors_;
   uint32_t first_dump_block_;
-  uint32_t dump_area_pages_;
-  uint32_t dump_next_ = 0;
+  /// Dump pages in program order; shrinks when a dump block goes bad.
+  std::vector<Ppn> dump_ppns_;
+  /// Blocks awaiting retirement after a program failure.
+  std::vector<std::pair<uint32_t, uint32_t>> retire_pending_;
 
   std::unordered_map<Lpn, uint64_t> map_;
   /// Reverse map: which LPN lives in each (ppn, slot); kInvalidLpn = dead.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "flash/fault_model.h"
 #include "flash/geometry.h"
 
 namespace durassd {
@@ -98,6 +99,17 @@ struct SsdConfig {
 
   /// Store real bytes (tests) or run timing-only (large benchmarks).
   bool store_data = true;
+
+  // --- NAND fault injection & ECC (all-zero rates = exact seed behavior) ---
+  /// Fault injector knobs; see FaultInjector::Options. Defaults inject
+  /// nothing and perturb nothing.
+  FaultInjector::Options faults;
+  /// Raw bit errors per page the controller's ECC corrects in one shot.
+  uint32_t ecc_correctable_bits = 8;
+  /// Read-retry attempts when raw errors exceed the ECC budget.
+  uint32_t read_retry_limit = 4;
+  /// Fresh pages tried when a NAND program reports failure.
+  uint32_t program_retry_limit = 3;
 
   uint64_t logical_sectors() const {
     const double usable =

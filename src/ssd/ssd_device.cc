@@ -4,11 +4,13 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace durassd {
 
 namespace {
 constexpr uint32_t kDumpMagic = 0xD0D0CAFE;
+constexpr uint32_t kDumpEntryMagic = 0xD0D0BEEF;
 constexpr SimTime kFlushEmptyOverhead = 100 * kMicrosecond;
 constexpr SimTime kCleanBootTime = 1 * kMillisecond;
 constexpr SimTime kVolatileRecoveryScan = 50 * kMillisecond;
@@ -16,10 +18,13 @@ constexpr SimTime kVolatileRecoveryScan = 50 * kMillisecond;
 
 SsdDevice::SsdDevice(SsdConfig config)
     : cfg_(std::move(config)),
-      flash_(FlashArray::Options{cfg_.geometry, cfg_.store_data}),
+      flash_(FlashArray::Options{cfg_.geometry, cfg_.store_data, cfg_.faults}),
       ftl_(&flash_, Ftl::Options{cfg_.sector_size, cfg_.over_provision,
                                  cfg_.gc_free_block_threshold,
-                                 cfg_.dump_blocks_per_plane}),
+                                 cfg_.dump_blocks_per_plane,
+                                 cfg_.ecc_correctable_bits,
+                                 cfg_.read_retry_limit,
+                                 cfg_.program_retry_limit}),
       bus_(1),
       fw_(cfg_.fw_parallelism),
       ncq_(cfg_.ncq_depth) {}
@@ -246,6 +251,7 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
     out->reserve(static_cast<size_t>(nsec) * cfg_.sector_size);
   }
   SimTime media_done = fw.done;
+  Status read_status = Status::OK();
   for (uint32_t i = 0; i < nsec; ++i) {
     const Lpn cur = lpn + i;
     auto it = cache_.find(cur);
@@ -261,16 +267,21 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
       continue;
     }
     std::string sector;
-    const SimTime done =
-        ftl_.ReadSector(fw.done, cur, out != nullptr ? &sector : nullptr);
+    SimTime done = fw.done;
+    const Status rs =
+        ftl_.ReadSector(fw.done, cur, out != nullptr ? &sector : nullptr,
+                        &done);
     media_done = std::max(media_done, done);
     if (out != nullptr) out->append(sector);
+    if (!rs.ok() && read_status.ok()) read_status = rs;
   }
 
   const ResourceTimeline::Grant bus =
       bus_.Acquire(media_done, BusTime(nsec, false));
   max_time_seen_ = std::max(max_time_seen_, bus.done);
-  return {Status::OK(), bus.done};
+  // An uncorrectable sector is still transferred (with its damage) so the
+  // host's checksums can diagnose it, but the command reports the error.
+  return {read_status, bus.done};
 }
 
 SimTime SsdDevice::MappingPersistCost(size_t entries) const {
@@ -370,24 +381,41 @@ void SsdDevice::DumpOnCapacitor(SimTime t) {
     return;
   }
 
-  // Header page, then one dump page per cached sector.
+  // Header page, then one dump page per cached sector. Header and entries
+  // carry CRCs so replay can detect dump pages damaged by bit errors, and
+  // entries are self-describing (own magic), so a failed entry program is
+  // retried on the next dump page and replay tolerates the gap. A lost
+  // header degrades replay to a full scan rather than losing the dump.
   std::string header;
   PutFixed32(&header, kDumpMagic);
   PutFixed32(&header, static_cast<uint32_t>(to_dump.size()));
+  PutFixed32(&header, Crc32c(header.data(), header.size()));
   ftl_.ProgramDumpPage(0, header);
   uint32_t index = 1;
+  uint64_t written = 0;
   for (const auto& [lpn, data] : to_dump) {
     std::string page;
+    PutFixed32(&page, kDumpEntryMagic);
     PutFixed64(&page, lpn);
     PutFixed32(&page, static_cast<uint32_t>(data->size()));
+    PutFixed32(&page, Crc32c(data->data(), data->size()));
     page.append(*data);
-    if (!ftl_.ProgramDumpPage(index, page).ok()) {
+    bool stored = false;
+    while (index < ftl_.dump_area_pages()) {
+      const bool ok = ftl_.ProgramDumpPage(index, page).ok();
+      index++;
+      if (ok) {
+        stored = true;
+        break;
+      }
+    }
+    if (!stored) {
       stats_.capacitor_overruns++;
       break;
     }
-    index++;
+    written++;
   }
-  stats_.dumped_pages += index - 1;
+  stats_.dumped_pages += written;
   dump_pages_used_ = index;
 }
 
@@ -396,6 +424,15 @@ void SsdDevice::PowerCut(SimTime t) {
   powered_ = false;
   emergency_shutdown_ = true;
 
+  if (cfg_.durable_cache) {
+    // The capacitor budget covers NAND operations already issued to the
+    // dies (Sec. 3.4.1): programs and erases in flight run to completion,
+    // so nothing shears. This matters beyond host writes — GC and
+    // bad-block retirement move live sectors whose only copy is the
+    // in-flight destination program; shearing those would lose data no
+    // dump replay could restore.
+    flash_.QuiesceInFlight();
+  }
   flash_.PowerCut(t);
   bus_.Reset();
   fw_.Reset();
@@ -454,28 +491,75 @@ SimTime SsdDevice::ReplayDump() {
   const FlashGeometry& g = cfg_.geometry;
   const SimTime page_read_cost = g.read_latency + g.channel_transfer_time();
 
+  // A dump entry is valid when its magic parses and its payload CRC holds
+  // (bit errors past the ECC budget or a shorn program fail both checks).
+  const auto parse_entry = [](const std::string& page, Lpn* lpn,
+                              std::string* data) {
+    Slice p(page);
+    uint32_t magic = 0;
+    uint64_t l = 0;
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!GetFixed32(&p, &magic) || magic != kDumpEntryMagic) return false;
+    if (!GetFixed64(&p, &l) || !GetFixed32(&p, &len) ||
+        !GetFixed32(&p, &crc) || p.size() < len) {
+      return false;
+    }
+    if (Crc32c(p.data(), len) != crc) return false;
+    *lpn = l;
+    data->assign(p.data(), len);
+    return true;
+  };
+
   std::vector<std::pair<Lpn, std::string>> entries;
   if (cfg_.store_data) {
-    const std::string header = ftl_.ReadDumpPage(0);
-    Slice h(header);
-    uint32_t magic = 0;
-    uint32_t count = 0;
-    if (!GetFixed32(&h, &magic) || magic != kDumpMagic ||
-        !GetFixed32(&h, &count)) {
-      count = 0;  // No (or corrupt) dump: nothing was cached at the cut.
-    }
+    std::string header;
+    const Status hs = ftl_.ReadDumpPage(0, &header);
     t += page_read_cost;  // Header read.
-    for (uint32_t i = 1; i <= count && i < ftl_.dump_area_pages(); ++i) {
-      const std::string page = ftl_.ReadDumpPage(i);
-      t += page_read_cost;
-      Slice p(page);
-      uint64_t lpn = 0;
-      uint32_t len = 0;
-      if (!GetFixed64(&p, &lpn) || !GetFixed32(&p, &len) ||
-          p.size() < len) {
-        continue;  // Shorn dump page (should not happen within budget).
+    uint32_t count = 0;
+    bool header_valid = false;
+    if (hs.ok()) {
+      Slice h(header);
+      uint32_t magic = 0;
+      uint32_t crc = 0;
+      if (GetFixed32(&h, &magic) && magic == kDumpMagic &&
+          GetFixed32(&h, &count) && GetFixed32(&h, &crc)) {
+        std::string prefix;
+        PutFixed32(&prefix, magic);
+        PutFixed32(&prefix, count);
+        header_valid = Crc32c(prefix.data(), prefix.size()) == crc;
       }
-      entries.emplace_back(lpn, std::string(p.data(), len));
+    }
+    if (header_valid) {
+      // Entries were written in order but may have gaps where a program
+      // failed; scan until `count` valid entries are recovered.
+      uint32_t found = 0;
+      for (uint32_t i = 1; found < count && i < ftl_.dump_area_pages(); ++i) {
+        std::string page;
+        const Status ps = ftl_.ReadDumpPage(i, &page);
+        t += page_read_cost;
+        (void)ps;  // A damaged page simply fails entry parsing below.
+        Lpn lpn = 0;
+        std::string data;
+        if (parse_entry(page, &lpn, &data)) {
+          entries.emplace_back(lpn, std::move(data));
+          found++;
+        }
+      }
+    } else if (hs.code() != StatusCode::kInvalidArgument) {
+      // Header page lost (failed program or uncorrectable read): fall back
+      // to scanning the whole dump area for self-describing entries.
+      for (uint32_t i = 1; i < ftl_.dump_area_pages(); ++i) {
+        std::string page;
+        const Status ps = ftl_.ReadDumpPage(i, &page);
+        t += page_read_cost;
+        (void)ps;
+        Lpn lpn = 0;
+        std::string data;
+        if (parse_entry(page, &lpn, &data)) {
+          entries.emplace_back(lpn, std::move(data));
+        }
+      }
     }
   } else {
     for (Lpn lpn : dump_lpns_timing_only_) {

@@ -55,6 +55,18 @@ class SsdDevice : public BlockDevice {
     uint64_t reads_stalled_by_flush = 0;  ///< Reads behind FLUSH CACHE.
   };
 
+  /// Device-level view of NAND fault handling, aggregated from the FTL
+  /// (ECC policy) and the flash array (media failures). All zero when no
+  /// faults are injected.
+  struct FaultStats {
+    uint64_t ecc_corrected = 0;       ///< Raw bit errors corrected by ECC.
+    uint64_t read_retries = 0;        ///< Page re-reads past the ECC budget.
+    uint64_t uncorrectable_reads = 0; ///< Reads lost despite retries.
+    uint64_t program_fails = 0;       ///< NAND program-status failures.
+    uint64_t erase_fails = 0;         ///< NAND erase-status failures.
+    uint64_t retired_blocks = 0;      ///< Grown bad blocks out of service.
+  };
+
   explicit SsdDevice(SsdConfig config);
   ~SsdDevice() override = default;
 
@@ -80,6 +92,13 @@ class SsdDevice : public BlockDevice {
   const Stats& stats() const { return stats_; }
   const Ftl& ftl() const { return ftl_; }
   const FlashArray& flash() const { return flash_; }
+  FaultStats fault_stats() const {
+    return {ftl_.stats().ecc_corrected,       ftl_.stats().read_retries,
+            ftl_.stats().uncorrectable_reads, flash_.stats().program_fails,
+            flash_.stats().erase_fails,       flash_.stats().bad_blocks};
+  }
+  /// Live fault-injection scripting hook (tests).
+  FaultInjector& fault_injector() { return flash_.fault_injector(); }
 
   /// Host-level write amplification: NAND bytes programmed / host bytes
   /// written (GC included). The endurance argument of Sec. 1 & 6.

@@ -88,7 +88,8 @@ TEST(FlashArrayTest, EraseResetsBlockAndBumpsWear) {
   }
   EXPECT_EQ(flash.valid_pages_in_block(0, 0), g.pages_per_block);
 
-  const SimTime erased = flash.EraseBlock(done, 0, 0);
+  SimTime erased = 0;
+  ASSERT_TRUE(flash.EraseBlock(done, 0, 0, &erased).ok());
   EXPECT_GT(erased, done);
   EXPECT_EQ(flash.erase_count(0, 0), 1u);
   EXPECT_EQ(flash.valid_pages_in_block(0, 0), 0u);
@@ -216,13 +217,14 @@ TEST(FlashArrayTest, PowerCutMidEraseInvalidatesBlock) {
   const FlashGeometry& g = flash.geometry();
   SimTime done = 0;
   ASSERT_TRUE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "a", &done).ok());
-  const SimTime erase_done = flash.EraseBlock(done, 0, 0);
+  SimTime erase_done = 0;
+  ASSERT_TRUE(flash.EraseBlock(done, 0, 0, &erase_done).ok());
   flash.PowerCut(erase_done - 1);
 
   // Block is unusable until a clean re-erase.
   SimTime d = 0;
   EXPECT_FALSE(flash.ProgramPage(0, g.MakePpn(0, 0, 0), "x", &d).ok());
-  flash.EraseBlock(0, 0, 0);
+  ASSERT_TRUE(flash.EraseBlock(0, 0, 0).ok());
   EXPECT_TRUE(flash.ProgramPage(1, g.MakePpn(0, 0, 0), "x", &d).ok());
 }
 

@@ -33,7 +33,8 @@ class FtlTest : public ::testing::Test {
 
 TEST_F(FtlTest, UnmappedSectorReadsZerosInstantly) {
   std::string out;
-  const SimTime done = ftl_.ReadSector(123, 5, &out);
+  SimTime done = 0;
+  ASSERT_TRUE(ftl_.ReadSector(123, 5, &out, &done).ok());
   EXPECT_EQ(done, 123);  // No media access for unmapped sectors.
   EXPECT_EQ(out, std::string(4 * kKiB, '\0'));
   EXPECT_FALSE(ftl_.IsMapped(5));
@@ -174,7 +175,7 @@ TEST_F(FtlTest, ExposeStartedKeepsInFlightMapping) {
   EXPECT_TRUE(ftl_.IsMapped(4));
   std::string out;
   bool torn = false;
-  ftl_.ReadSector(0, 4, &out, &torn);
+  ftl_.ReadSector(0, 4, &out, nullptr, &torn);
   EXPECT_TRUE(torn);
   // First half new, second half shorn.
   EXPECT_EQ(out.substr(0, 2 * kKiB), std::string(2 * kKiB, 't'));
@@ -224,7 +225,8 @@ TEST_F(FtlTest, GcForcesPersistenceOfReclaimedRollbackTargets) {
 TEST_F(FtlTest, DumpAreaProgramsAndReadsBack) {
   std::string payload = "dump-entry";
   ASSERT_TRUE(ftl_.ProgramDumpPage(0, payload).ok());
-  const std::string back = ftl_.ReadDumpPage(0);
+  std::string back;
+  ASSERT_TRUE(ftl_.ReadDumpPage(0, &back).ok());
   EXPECT_EQ(back.substr(0, payload.size()), payload);
 
   const SimTime erased = ftl_.EraseDumpArea(0);

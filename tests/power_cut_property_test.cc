@@ -146,6 +146,95 @@ TEST_P(DurablePowerCutSweep, RecoveryIdempotentUnderSecondFailure) {
   }
 }
 
+// --------------------------- Faulty-media sweep -----------------------------
+
+/// Same P1-P3 invariants, but the NAND now misbehaves: every read carries
+/// raw bit errors (mean 1.5 + wear), and programs/erases fail with nonzero
+/// probability. The ECC budget is sized so an uncorrectable read is
+/// essentially impossible; everything else (read retries, program retries,
+/// grown bad blocks, dump-page failures) must be fully absorbed by the
+/// device without losing a single acknowledged write.
+SsdConfig FaultyTinyConfig() {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  cfg.geometry.blocks_per_plane = 64;
+  cfg.geometry.pages_per_block = 16;
+  cfg.faults.seed = 0xFA171E5ull;
+  cfg.faults.read_bit_flip_mean = 1.5;
+  cfg.faults.read_bit_flip_per_erase = 0.05;
+  cfg.faults.program_fail_rate = 0.01;
+  cfg.faults.erase_fail_rate = 0.005;
+  cfg.ecc_correctable_bits = 24;  // P(Poisson(~1.5) > 24) ~ 0.
+  return cfg;
+}
+
+class FaultyDurablePowerCutSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, FaultyDurablePowerCutSweep,
+                         ::testing::Range(1, 17));
+
+TEST_P(FaultyDurablePowerCutSweep, AckedWritesDurableUnderMediaFaults) {
+  const SsdConfig cfg = FaultyTinyConfig();
+  SsdDevice dev(cfg);
+
+  SimTime total = 0;
+  {
+    SsdDevice probe(cfg);
+    RunHistory(&probe, 1234, 120, 0, &total);
+  }
+  const SimTime cut = total * GetParam() / 17 + GetParam();
+  SimTime end = 0;
+  const std::vector<AckEvent> events =
+      RunHistory(&dev, 1234, 120, cut, &end);
+
+  dev.PowerCut(std::max(cut, end > 0 ? events.back().ack - 1 : cut));
+  dev.PowerOn();
+
+  const std::map<Lpn, uint64_t> expected = AckedStateAt(events, cut);
+  for (Lpn lpn = 0; lpn < kLpns; ++lpn) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, lpn, 1, &got).status.ok());
+    auto it = expected.find(lpn);
+    if (it != expected.end()) {
+      EXPECT_EQ(got, Value(it->second))
+          << "lpn " << lpn << " cut " << cut << " (durability under faults)";
+    } else {
+      EXPECT_EQ(got, std::string(kSector, '\0'))
+          << "lpn " << lpn << " cut " << cut << " (atomicity under faults)";
+    }
+  }
+  EXPECT_EQ(dev.stats().capacitor_overruns, 0u);
+  const SsdDevice::FaultStats fs = dev.fault_stats();
+  EXPECT_EQ(fs.uncorrectable_reads, 0u);
+  EXPECT_GT(fs.ecc_corrected, 0u);  // The fault model really was active.
+}
+
+TEST_P(FaultyDurablePowerCutSweep, RecoveryIdempotentUnderMediaFaults) {
+  const SsdConfig cfg = FaultyTinyConfig();
+  SsdDevice dev(cfg);
+
+  SimTime total = 0;
+  {
+    SsdDevice probe(cfg);
+    RunHistory(&probe, 77, 100, 0, &total);
+  }
+  const SimTime cut = total * GetParam() / 17 + 3;
+  SimTime end = 0;
+  const std::vector<AckEvent> events = RunHistory(&dev, 77, 100, cut, &end);
+
+  dev.PowerCut(cut);
+  dev.PowerOn();
+  dev.PowerCut(1);  // Second failure right after boot, faults still live.
+  dev.PowerOn();
+
+  const std::map<Lpn, uint64_t> expected = AckedStateAt(events, cut);
+  for (const auto& [lpn, version] : expected) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, lpn, 1, &got).status.ok());
+    EXPECT_EQ(got, Value(version)) << "lpn " << lpn << " cut " << cut;
+  }
+  EXPECT_EQ(dev.fault_stats().uncorrectable_reads, 0u);
+}
+
 class VolatilePowerCutSweep : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(CutPoints, VolatilePowerCutSweep,
