@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_json.h"
 #include "ssd/ssd_config.h"
 #include "ssd/ssd_device.h"
 #include "workloads/fiosim.h"
@@ -11,7 +12,7 @@
 namespace durassd {
 namespace {
 
-void RunSweep(uint64_t ops) {
+void RunSweep(uint64_t ops, BenchJson* json) {
   printf("Ablation: device write-buffer size vs burst absorption\n");
   printf("  %-14s %10s %12s %12s %12s\n", "buffer", "iops",
          "lat p50(us)", "lat p99(us)", "lat max(ms)");
@@ -39,6 +40,14 @@ void RunSweep(uint64_t ops) {
            r.iops, static_cast<double>(r.latency.Percentile(50)) / 1e3,
            static_cast<double>(r.latency.Percentile(99)) / 1e3,
            static_cast<double>(r.latency.max()) / 1e6);
+    if (json->enabled()) {
+      BenchResult row("write_buffer_sectors=" + std::to_string(sectors));
+      row.Param("write_buffer_sectors", static_cast<uint64_t>(sectors))
+          .Throughput(r.iops, "iops")
+          .LatencyNs(r.latency)
+          .Device(dev);
+      json->Add(std::move(row));
+    }
   }
 }
 
@@ -47,9 +56,16 @@ void RunSweep(uint64_t ops) {
 
 int main(int argc, char** argv) {
   uint64_t ops = 20000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], "--quick") == 0) ops = 5000;
+    if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      ops = 5000;
+    }
   }
-  durassd::RunSweep(ops);
-  return 0;
+  durassd::BenchJson json("ablation_cache_size",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("ops", ops);
+  durassd::RunSweep(ops, &json);
+  return json.WriteFile() ? 0 : 1;
 }

@@ -4,14 +4,16 @@
 // the replay time at reboot.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "ssd/ssd_config.h"
 #include "ssd/ssd_device.h"
 
 namespace durassd {
 namespace {
 
-void RunOne(uint32_t dirty_sectors) {
+void RunOne(uint32_t dirty_sectors, BenchJson* json) {
   SsdConfig cfg = SsdConfig::DuraSsd();
   cfg.geometry = FlashGeometry::Tiny();
   cfg.geometry.blocks_per_plane = 128;
@@ -39,17 +41,32 @@ void RunOne(uint32_t dirty_sectors) {
          dev.stats().capacitor_overruns == 0 ? "ok" : "OVERRUN",
          static_cast<double>(recovery) / 1e6);
   (void)first_ack;
+  if (json->enabled()) {
+    BenchResult row("dirty_sectors=" + std::to_string(dirty_sectors));
+    row.Param("dirty_sectors", static_cast<uint64_t>(dirty_sectors))
+        .Value("dumped_pages", dev.stats().dumped_pages)
+        .Value("capacitor_overruns", dev.stats().capacitor_overruns)
+        .Value("recovery_ns", static_cast<int64_t>(recovery))
+        .Device(dev);
+    json->Add(std::move(row));
+  }
 }
 
 }  // namespace
 }  // namespace durassd
 
-int main(int, char**) {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--quick") == 0) quick = true;  // Already fast.
+  }
+  durassd::BenchJson json("ablation_dump_area",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
   printf("Ablation: dirty cache at power loss vs dump size & recovery\n");
   printf("  %8s %12s %10s %12s\n", "dirty", "dumped_pgs", "budget",
          "recovery(ms)");
   for (uint32_t dirty : {16u, 64u, 256u, 1024u, 2048u}) {
-    durassd::RunOne(dirty);
+    durassd::RunOne(dirty, &json);
   }
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/db_bench_util.h"
 #include "workloads/linkbench.h"
 
@@ -28,8 +30,10 @@ struct WriteVolume {
 // build). Nonzero rates turn the run into an endurance-under-faults study.
 FaultInjector::Options g_faults;
 
-WriteVolume RunConfig(bool dwb, uint32_t page_size, uint64_t nodes,
-                      uint64_t requests) {
+BenchJson* g_json = nullptr;
+
+WriteVolume RunConfig(const char* label, bool dwb, uint32_t page_size,
+                      uint64_t nodes, uint64_t requests) {
   DbRigConfig rc;
   rc.write_barriers = !dwb;  // Paired knobs: default vs DuraSSD deployment.
   rc.double_write = dwb;
@@ -55,6 +59,18 @@ WriteVolume RunConfig(bool dwb, uint32_t page_size, uint64_t nodes,
       static_cast<double>(rig.data_dev->flash().stats().programs - nand0) *
       rig.data_dev->config().geometry.page_size;
   const SsdDevice::FaultStats fs = rig.data_dev->fault_stats();
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row(label);
+    row.Param("double_write", dwb)
+        .Param("page_size", static_cast<uint64_t>(page_size))
+        .Value("host_gib", host_bytes / kGiB)
+        .Value("nand_gib", nand_bytes / kGiB)
+        .Value("write_amplification",
+               host_bytes > 0 ? nand_bytes / host_bytes : 0.0)
+        .Metrics(rig.db->metrics())
+        .Device(*rig.data_dev);
+    g_json->Add(std::move(row));
+  }
   return {host_bytes / kGiB, nand_bytes / kGiB,
           host_bytes > 0 ? nand_bytes / host_bytes : 0, fs.ecc_corrected,
           fs.retired_blocks};
@@ -71,11 +87,13 @@ void RunComparison(uint64_t nodes, uint64_t requests) {
          static_cast<unsigned long long>(requests));
   printf("  %-34s %10s %10s %8s\n", "configuration", "host GiB", "NAND GiB",
          "WA");
-  const WriteVolume def = RunConfig(true, 16 * kKiB, nodes, requests);
+  const WriteVolume def =
+      RunConfig("mysql_default_dwb_16k", true, 16 * kKiB, nodes, requests);
   printf("  %-34s %10.3f %10.3f %8.2f\n",
          "MySQL default (DWB on, 16KB)", def.host_gib, def.nand_gib,
          def.write_amp);
-  const WriteVolume dura = RunConfig(false, 4 * kKiB, nodes, requests);
+  const WriteVolume dura =
+      RunConfig("durassd_nodwb_4k", false, 4 * kKiB, nodes, requests);
   printf("  %-34s %10.3f %10.3f %8.2f\n",
          "DuraSSD mode  (DWB off, 4KB)", dura.host_gib, dura.nand_gib,
          dura.write_amp);
@@ -102,8 +120,10 @@ void RunComparison(uint64_t nodes, uint64_t requests) {
 int main(int argc, char** argv) {
   uint64_t nodes = 100000;
   uint64_t requests = 60000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       nodes = 30000;
       requests = 15000;
     } else if (strncmp(argv[i], "--read-bitflip-mean=", 20) == 0) {
@@ -118,6 +138,10 @@ int main(int argc, char** argv) {
       durassd::g_faults.seed = strtoull(argv[i] + 13, nullptr, 0);
     }
   }
+  durassd::BenchJson json("ablation_endurance",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("nodes", nodes).Config("requests", requests);
+  durassd::g_json = &json;
   durassd::RunComparison(nodes, requests);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "db/database.h"
 #include "host/sim_file.h"
 #include "ssd/ssd_config.h"
@@ -16,8 +18,10 @@
 namespace durassd {
 namespace {
 
-double RunConfig(bool barriers, SsdConfig::FlushMode mode, uint64_t nodes,
-                 uint64_t requests) {
+BenchJson* g_json = nullptr;
+
+double RunConfig(const char* label, bool barriers, SsdConfig::FlushMode mode,
+                 uint64_t nodes, uint64_t requests) {
   SsdConfig dc = SsdConfig::DuraSsd();
   dc.flush_mode = mode;
   auto data_dev = std::make_unique<SsdDevice>(dc);
@@ -40,21 +44,33 @@ double RunConfig(bool barriers, SsdConfig::FlushMode mode, uint64_t nodes,
   lc.requests = requests;
   LinkBench bench(db->get(), lc);
   if (!bench.Load(io).ok()) abort();
-  return (*bench.Run()).tps;
+  const double tps = (*bench.Run()).tps;
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row(label);
+    row.Param("write_barriers", barriers)
+        .Param("ordered_no_drain",
+               mode == SsdConfig::FlushMode::kOrderedNoDrain)
+        .Throughput(tps, "txn/s")
+        .Metrics((*db)->metrics())
+        .Device(*data_dev);
+    g_json->Add(std::move(row));
+  }
+  return tps;
 }
 
 void Run(uint64_t nodes, uint64_t requests) {
   printf("Ablation: FLUSH CACHE semantics (LinkBench, MySQL-default host)\n");
   printf("  %-44s %10s\n", "configuration", "TPS");
   printf("  %-44s %10.0f\n", "barriers ON, full flush (commodity)",
-         RunConfig(true, SsdConfig::FlushMode::kFullFlush, nodes, requests));
+         RunConfig("barrier_on_full_flush", true,
+                   SsdConfig::FlushMode::kFullFlush, nodes, requests));
   printf("  %-44s %10.0f\n",
          "barriers ON, ordered no-drain flush (Sec 3.3)",
-         RunConfig(true, SsdConfig::FlushMode::kOrderedNoDrain, nodes,
-                   requests));
+         RunConfig("barrier_on_ordered_no_drain", true,
+                   SsdConfig::FlushMode::kOrderedNoDrain, nodes, requests));
   printf("  %-44s %10.0f\n", "barriers OFF (nobarrier deployment)",
-         RunConfig(false, SsdConfig::FlushMode::kFullFlush, nodes,
-                   requests));
+         RunConfig("barrier_off", false, SsdConfig::FlushMode::kFullFlush,
+                   nodes, requests));
 }
 
 }  // namespace
@@ -63,12 +79,18 @@ void Run(uint64_t nodes, uint64_t requests) {
 int main(int argc, char** argv) {
   uint64_t nodes = 100000;
   uint64_t requests = 40000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       nodes = 40000;
       requests = 15000;
     }
   }
+  durassd::BenchJson json("ablation_flush_semantics",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("nodes", nodes).Config("requests", requests);
+  durassd::g_json = &json;
   durassd::Run(nodes, requests);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -5,7 +5,9 @@
 // increased by a factor of 100" effect the paper cites.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "host/sim_file.h"
@@ -16,7 +18,7 @@
 namespace durassd {
 namespace {
 
-void RunOne(double fill_fraction, uint64_t ops) {
+void RunOne(double fill_fraction, uint64_t ops, BenchJson* json) {
   SsdConfig cfg = SsdConfig::DuraSsd();
   cfg.geometry = FlashGeometry::Tiny();
   cfg.geometry.blocks_per_plane = 64;
@@ -64,6 +66,14 @@ void RunOne(double fill_fraction, uint64_t ops) {
          reads.Mean() / 1e6, static_cast<double>(reads.Percentile(50)) / 1e6,
          static_cast<double>(reads.Percentile(99)) / 1e6,
          static_cast<double>(reads.max()) / 1e6);
+  if (json->enabled()) {
+    BenchResult row("fill=" + std::to_string(fill_fraction));
+    row.Param("fill_fraction", fill_fraction)
+        .Value("gc_runs", dev.ftl().stats().gc_runs)
+        .LatencyNs(reads)
+        .Device(dev);
+    json->Add(std::move(row));
+  }
 }
 
 }  // namespace
@@ -71,12 +81,19 @@ void RunOne(double fill_fraction, uint64_t ops) {
 
 int main(int argc, char** argv) {
   uint64_t ops = 30000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], "--quick") == 0) ops = 8000;
+    if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      ops = 8000;
+    }
   }
+  durassd::BenchJson json("ablation_gc",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("ops", ops);
   printf("Ablation: device fill level vs GC activity and read latency (ms)\n");
   printf("  %7s %10s %10s %10s %10s %10s\n", "fill", "gc_runs", "mean",
          "p50", "p99", "max");
-  for (double f : {0.3, 0.6, 0.85, 0.95}) durassd::RunOne(f, ops);
-  return 0;
+  for (double f : {0.3, 0.6, 0.85, 0.95}) durassd::RunOne(f, ops, &json);
+  return json.WriteFile() ? 0 : 1;
 }

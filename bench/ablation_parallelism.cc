@@ -5,7 +5,9 @@
 // stops hiding the media.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "ssd/ssd_config.h"
 #include "ssd/ssd_device.h"
 #include "workloads/fiosim.h"
@@ -13,7 +15,7 @@
 namespace durassd {
 namespace {
 
-void RunSweep(uint64_t ops) {
+void RunSweep(uint64_t ops, BenchJson* json) {
   printf("Ablation: internal parallelism vs sustained 4KB write IOPS\n");
   printf("  %-10s %-8s %-8s %12s\n", "channels", "planes", "total",
          "IOPS(128thr)");
@@ -43,6 +45,18 @@ void RunSweep(uint64_t ops) {
     printf("  %-10u %-8u %-8u %12.0f\n", c.channels,
            c.planes_per_chip,
            cfg.geometry.total_planes(), r.iops);
+    if (json->enabled()) {
+      BenchResult row("channels=" + std::to_string(c.channels) +
+                      "/planes=" + std::to_string(c.planes_per_chip));
+      row.Param("channels", static_cast<uint64_t>(c.channels))
+          .Param("planes_per_chip", static_cast<uint64_t>(c.planes_per_chip))
+          .Param("total_planes",
+                 static_cast<uint64_t>(cfg.geometry.total_planes()))
+          .Throughput(r.iops, "iops")
+          .LatencyNs(r.latency)
+          .Device(dev);
+      json->Add(std::move(row));
+    }
   }
 }
 
@@ -51,9 +65,16 @@ void RunSweep(uint64_t ops) {
 
 int main(int argc, char** argv) {
   uint64_t ops = 40000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], "--quick") == 0) ops = 8000;
+    if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      ops = 8000;
+    }
   }
-  durassd::RunSweep(ops);
-  return 0;
+  durassd::BenchJson json("ablation_parallelism",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("ops", ops);
+  durassd::RunSweep(ops, &json);
+  return json.WriteFile() ? 0 : 1;
 }

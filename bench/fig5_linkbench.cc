@@ -8,7 +8,9 @@
 // gain factors are the reproduction target.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/db_bench_util.h"
 #include "workloads/linkbench.h"
 
@@ -29,9 +31,10 @@ constexpr BarrierDwb kConfigs[] = {
 constexpr uint32_t kPageSizes[] = {16 * kKiB, 8 * kKiB, 4 * kKiB};
 
 bool g_stats = false;
+BenchJson* g_json = nullptr;
 
-double RunConfig(bool barriers, bool dwb, uint32_t page_size,
-                 uint64_t nodes, uint64_t requests) {
+double RunConfig(const char* label, bool barriers, bool dwb,
+                 uint32_t page_size, uint64_t nodes, uint64_t requests) {
   DbRigConfig rc;
   rc.write_barriers = barriers;
   rc.double_write = dwb;
@@ -74,6 +77,18 @@ double RunConfig(bool barriers, bool dwb, uint32_t page_size,
             result->latencies[LinkOp::kUpdateNode].Mean() / 1e6,
             result->latencies[LinkOp::kAddLink].Mean() / 1e6);
   }
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row(std::string(label) + "/page=" +
+                    std::to_string(page_size / kKiB) + "KB");
+    row.Param("write_barriers", barriers)
+        .Param("double_write", dwb)
+        .Param("page_size", static_cast<uint64_t>(page_size))
+        .Throughput(result->tps, "txn/s")
+        .LatencyNs(result->latencies[LinkOp::kAddLink])
+        .Metrics(rig.db->metrics())
+        .Device(*rig.data_dev);
+    g_json->Add(std::move(row));
+  }
   return result->tps;
 }
 
@@ -83,7 +98,8 @@ void RunFigure(uint64_t nodes, uint64_t requests) {
   for (const BarrierDwb& c : kConfigs) {
     printf("  %-12s", c.label);
     for (uint32_t ps : kPageSizes) {
-      printf(" %10.0f", RunConfig(c.barriers, c.dwb, ps, nodes, requests));
+      printf(" %10.0f",
+             RunConfig(c.label, c.barriers, c.dwb, ps, nodes, requests));
       fflush(stdout);
     }
     printf("\n");
@@ -96,13 +112,20 @@ void RunFigure(uint64_t nodes, uint64_t requests) {
 int main(int argc, char** argv) {
   uint64_t nodes = 100000;
   uint64_t requests = 60000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       nodes = 40000;
       requests = 20000;
     }
     if (strcmp(argv[i], "--stats") == 0) durassd::g_stats = true;
   }
+  durassd::BenchJson json("fig5_linkbench",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("nodes", nodes).Config("requests", requests)
+      .Config("clients", uint64_t{128});
+  durassd::g_json = &json;
   durassd::RunFigure(nodes, requests);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -4,8 +4,10 @@
 // the same pool:DB fractions (2%..10%) at simulator scale.
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/db_bench_util.h"
 #include "workloads/linkbench.h"
 
@@ -18,6 +20,8 @@ struct Point {
   double miss_pct;
   double tps;
 };
+
+BenchJson* g_json = nullptr;
 
 Point RunConfig(uint32_t page_size, uint64_t pool_bytes, uint64_t nodes,
                 uint64_t requests) {
@@ -36,6 +40,16 @@ Point RunConfig(uint32_t page_size, uint64_t pool_bytes, uint64_t nodes,
   if (!bench.Load(rig.io).ok()) abort();
   auto result = bench.Run();
   if (!result.ok()) abort();
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row("page=" + std::to_string(page_size / kKiB) +
+                    "KB/pool_bytes=" + std::to_string(pool_bytes));
+    row.Param("page_size", static_cast<uint64_t>(page_size))
+        .Param("pool_bytes", pool_bytes)
+        .Throughput(result->tps, "txn/s")
+        .Value("buffer_miss_pct", 100.0 * result->buffer_miss_ratio)
+        .Metrics(rig.db->metrics());
+    g_json->Add(std::move(row));
+  }
   return {100.0 * result->buffer_miss_ratio, result->tps};
 }
 
@@ -77,12 +91,18 @@ void RunFigure(uint64_t nodes, uint64_t requests) {
 int main(int argc, char** argv) {
   uint64_t nodes = 120000;
   uint64_t requests = 40000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       nodes = 50000;
       requests = 15000;
     }
   }
+  durassd::BenchJson json("fig6_buffer_sweep",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("nodes", nodes).Config("requests", requests);
+  durassd::g_json = &json;
   durassd::RunFigure(nodes, requests);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -3,8 +3,10 @@
 // read/write dispatch, FTL programs, B+-tree operations, CRC, histogram.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/crc32c.h"
 #include "common/histogram.h"
@@ -155,4 +157,37 @@ BENCHMARK(BM_KvStorePut);
 }  // namespace
 }  // namespace durassd
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide bench
+// flags (--json <path>, --quick) into google-benchmark's own flags so
+// run_benches.sh can drive every binary with the same command line.
+// google-benchmark already emits machine-readable JSON; no BenchJson here.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+    } else if (strncmp(argv[i], "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (argv[i] + 7);
+    } else if (strcmp(argv[i], "--quick") == 0) {
+      // Wall-clock microbenchmarks are already short; nothing to trim.
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

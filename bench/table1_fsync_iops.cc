@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "ssd/device_factory.h"
 #include "workloads/fiosim.h"
 
@@ -21,8 +22,9 @@ void PrintRow(const char* label, const std::vector<double>& iops) {
   printf("\n");
 }
 
-std::vector<double> RunSweep(DeviceModel model, bool cache_on,
-                             bool barriers, uint64_t ops) {
+std::vector<double> RunSweep(DeviceModel model, const char* device_name,
+                             bool cache_on, bool barriers, uint64_t ops,
+                             BenchJson* json) {
   std::vector<double> out;
   for (uint32_t every : kFsyncSteps) {
     auto device = MakeDevice(model, cache_on, /*store_data=*/false);
@@ -33,12 +35,26 @@ std::vector<double> RunSweep(DeviceModel model, bool cache_on,
     job.ops = ops;
     job.fsync_every = every;
     job.write_barriers = barriers;
-    out.push_back(RunFio(device.get(), job).iops);
+    const FioResult r = RunFio(device.get(), job);
+    out.push_back(r.iops);
+    if (json->enabled()) {
+      BenchResult row(std::string(device_name) + "/" +
+                      (cache_on ? "cache_on" : "cache_off") +
+                      (barriers ? "" : "/no_barrier") + "/fsync_every=" +
+                      std::to_string(every));
+      row.Param("device", device_name)
+          .Param("cache_on", cache_on)
+          .Param("write_barriers", barriers)
+          .Param("fsync_every", static_cast<uint64_t>(every))
+          .Throughput(r.iops, "iops")
+          .LatencyNs(r.latency);
+      json->Add(std::move(row));
+    }
   }
   return out;
 }
 
-void RunTable(uint64_t ops) {
+void RunTable(uint64_t ops, BenchJson* json) {
   printf("Table 1: 4KB random write IOPS vs fsync frequency\n");
   printf("  %-14s", "writes/fsync:");
   for (uint32_t every : kFsyncSteps) {
@@ -61,16 +77,15 @@ void RunTable(uint64_t ops) {
   };
   for (const auto& dev : kDevices) {
     printf(" %s\n", dev.name);
-    PrintRow("cache OFF",
-             RunSweep(dev.model, /*cache_on=*/false, /*barriers=*/true,
-                      dev.model == DeviceModel::kHdd ? ops / 4 : ops));
-    PrintRow("cache ON",
-             RunSweep(dev.model, /*cache_on=*/true, /*barriers=*/true,
-                      dev.model == DeviceModel::kHdd ? ops / 4 : ops));
+    const uint64_t dev_ops = dev.model == DeviceModel::kHdd ? ops / 4 : ops;
+    PrintRow("cache OFF", RunSweep(dev.model, dev.name, /*cache_on=*/false,
+                                   /*barriers=*/true, dev_ops, json));
+    PrintRow("cache ON", RunSweep(dev.model, dev.name, /*cache_on=*/true,
+                                  /*barriers=*/true, dev_ops, json));
     if (dev.model == DeviceModel::kDuraSsd) {
       PrintRow("ON (NoBarrier)",
-               RunSweep(dev.model, /*cache_on=*/true, /*barriers=*/false,
-                        ops));
+               RunSweep(dev.model, dev.name, /*cache_on=*/true,
+                        /*barriers=*/false, ops, json));
     }
   }
 }
@@ -80,9 +95,16 @@ void RunTable(uint64_t ops) {
 
 int main(int argc, char** argv) {
   uint64_t ops = 20000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (strcmp(argv[i], "--quick") == 0) ops = 4000;
+    if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      ops = 4000;
+    }
   }
-  durassd::RunTable(ops);
-  return 0;
+  durassd::BenchJson json("table1_fsync_iops",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("ops", ops).Config("block_bytes", uint64_t{4 * durassd::kKiB});
+  durassd::RunTable(ops, &json);
+  return json.WriteFile() ? 0 : 1;
 }

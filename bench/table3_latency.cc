@@ -4,14 +4,18 @@
 // DuraSSD configuration (OFF/OFF, 4KB pages).
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/db_bench_util.h"
 #include "workloads/linkbench.h"
 
 namespace durassd {
 namespace {
 
-void RunConfig(const char* title, bool barriers, bool dwb,
+BenchJson* g_json = nullptr;
+
+void RunConfig(const char* title, const char* label, bool barriers, bool dwb,
                uint32_t page_size, uint64_t nodes, uint64_t requests) {
   DbRigConfig rc;
   rc.write_barriers = barriers;
@@ -37,6 +41,17 @@ void RunConfig(const char* title, bool barriers, bool dwb,
     auto it = result->latencies.find(o);
     if (it == result->latencies.end()) continue;
     printf("  %-14s %s\n", LinkOpName(o), it->second.SummaryMillis().c_str());
+    if (g_json != nullptr && g_json->enabled()) {
+      BenchResult row(std::string(label) + "/" + LinkOpName(o));
+      row.Param("config", label)
+          .Param("op", LinkOpName(o))
+          .Param("write_barriers", barriers)
+          .Param("double_write", dwb)
+          .Param("page_size", static_cast<uint64_t>(page_size))
+          .Throughput(result->tps, "txn/s")
+          .LatencyNs(it->second);
+      g_json->Add(std::move(row));
+    }
   }
 }
 
@@ -46,16 +61,22 @@ void RunConfig(const char* title, bool barriers, bool dwb,
 int main(int argc, char** argv) {
   uint64_t nodes = 100000;
   uint64_t requests = 60000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       nodes = 40000;
       requests = 20000;
     }
   }
+  durassd::BenchJson json("table3_latency",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("nodes", nodes).Config("requests", requests);
+  durassd::g_json = &json;
   printf("Table 3: LinkBench latency distribution (ms)\n");
-  durassd::RunConfig(" ON/ON with 16KB pages (MySQL default)", true, true,
-                     16 * durassd::kKiB, nodes, requests);
-  durassd::RunConfig(" OFF/OFF with 4KB pages (DuraSSD best)", false, false,
-                     4 * durassd::kKiB, nodes, requests);
-  return 0;
+  durassd::RunConfig(" ON/ON with 16KB pages (MySQL default)", "on_on_16k",
+                     true, true, 16 * durassd::kKiB, nodes, requests);
+  durassd::RunConfig(" OFF/OFF with 4KB pages (DuraSSD best)", "off_off_4k",
+                     false, false, 4 * durassd::kKiB, nodes, requests);
+  return json.WriteFile() ? 0 : 1;
 }

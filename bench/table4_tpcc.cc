@@ -5,12 +5,16 @@
 // keeps a similarly tight ratio at simulator scale.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "bench/db_bench_util.h"
 #include "workloads/tpcc.h"
 
 namespace durassd {
 namespace {
+
+BenchJson* g_json = nullptr;
 
 double RunConfig(bool barriers, uint32_t page_size, const Tpcc::Config& tc,
                  uint64_t pool_bytes) {
@@ -29,6 +33,16 @@ double RunConfig(bool barriers, uint32_t page_size, const Tpcc::Config& tc,
   if (!bench.Load(rig.io).ok()) abort();
   auto result = bench.Run();
   if (!result.ok()) abort();
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row(std::string(barriers ? "barrier_on" : "barrier_off") +
+                    "/page=" + std::to_string(page_size / kKiB) + "KB");
+    row.Param("write_barriers", barriers)
+        .Param("page_size", static_cast<uint64_t>(page_size))
+        .Throughput(result->tpmc, "tpmC")
+        .Metrics(rig.db->metrics())
+        .Device(*rig.data_dev);
+    g_json->Add(std::move(row));
+  }
   return result->tpmc;
 }
 
@@ -60,14 +74,22 @@ int main(int argc, char** argv) {
   tc.clients = 64;
   tc.transactions = 30000;
   uint64_t pool = 3 * durassd::kMiB;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       tc.warehouses = 4;
       tc.items = 5000;
       tc.transactions = 8000;
       pool = 2 * durassd::kMiB;
     }
   }
+  durassd::BenchJson json("table4_tpcc",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("warehouses", static_cast<uint64_t>(tc.warehouses))
+      .Config("transactions", tc.transactions)
+      .Config("pool_bytes", pool);
+  durassd::g_json = &json;
   durassd::RunTable(tc, pool);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

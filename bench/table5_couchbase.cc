@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "host/sim_file.h"
 #include "kv/kvstore.h"
 #include "ssd/ssd_config.h"
@@ -13,6 +15,8 @@
 
 namespace durassd {
 namespace {
+
+BenchJson* g_json = nullptr;
 
 double RunConfig(bool barriers, uint32_t batch, double update_fraction,
                  uint64_t records, uint64_t operations) {
@@ -38,6 +42,19 @@ double RunConfig(bool barriers, uint32_t batch, double update_fraction,
   if (!bench.Load(io).ok()) abort();
   auto result = bench.Run();
   if (!result.ok()) abort();
+  if (g_json != nullptr && g_json->enabled()) {
+    BenchResult row(std::string(barriers ? "barrier_on" : "barrier_off") +
+                    "/update=" + std::to_string(update_fraction) +
+                    "/batch=" + std::to_string(batch));
+    row.Param("write_barriers", barriers)
+        .Param("batch_size", static_cast<uint64_t>(batch))
+        .Param("update_fraction", update_fraction)
+        .Throughput(result->ops_per_sec, "ops/s")
+        .LatencyNs(result->update_latency)
+        .Metrics((*store)->metrics())
+        .Device(device);
+    g_json->Add(std::move(row));
+  }
   return result->ops_per_sec;
 }
 
@@ -67,12 +84,18 @@ void RunTable(uint64_t records, uint64_t operations) {
 int main(int argc, char** argv) {
   uint64_t records = 50000;
   uint64_t operations = 50000;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       records = 20000;
       operations = 15000;
     }
   }
+  durassd::BenchJson json("table5_couchbase",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("records", records).Config("operations", operations);
+  durassd::g_json = &json;
   durassd::RunTable(records, operations);
-  return 0;
+  return json.WriteFile() ? 0 : 1;
 }

@@ -1,14 +1,83 @@
 #!/bin/bash
-# Runs every bench binary (full scale) and captures the output.
+# Runs every bench binary and captures the output.
+#
+# Usage: ./run_benches.sh [--quick] [--json]
+#   --quick  pass --quick to every bench (smaller workloads, CI-sized)
+#   --json   write per-bench JSON to bench_json/<name>.json and aggregate
+#            everything into BENCH_results.json
+#
+# Exits nonzero if any bench fails.
 set -u
+
+QUICK=""
+JSON=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK="--quick" ;;
+    --json) JSON=1 ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      echo "usage: $0 [--quick] [--json]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JSON_DIR="bench_json"
+if [ "$JSON" = 1 ]; then
+  mkdir -p "$JSON_DIR"
+fi
+
+FAILED=""
+
+run_bench() {
+  local b="$1"
+  shift
+  if [ ! -x "build/bench/$b" ]; then
+    echo "===== $b ===== (missing: build/bench/$b — skipped)"
+    FAILED="$FAILED $b(missing)"
+    return
+  fi
+  echo "===== $b ====="
+  local extra=()
+  if [ "$JSON" = 1 ]; then
+    extra+=(--json "$JSON_DIR/$b.json")
+  fi
+  if ! "./build/bench/$b" $QUICK "$@" "${extra[@]+"${extra[@]}"}"; then
+    echo "FAILED: $b" >&2
+    FAILED="$FAILED $b"
+  fi
+  echo
+}
+
 for b in table1_fsync_iops table2_page_size fig5_linkbench fig6_buffer_sweep \
          table3_latency table4_tpcc table5_couchbase ablation_cache_size \
-         ablation_parallelism ablation_gc ablation_dump_area ablation_endurance ablation_flush_semantics; do
-  if [ -x "build/bench/$b" ]; then
-    echo "===== $b ====="
-    ./build/bench/$b
-    echo
-  fi
+         ablation_parallelism ablation_gc ablation_dump_area \
+         ablation_endurance ablation_flush_semantics; do
+  run_bench "$b"
 done
-echo "===== micro_ops ====="
-./build/bench/micro_ops --benchmark_min_time=0.1
+run_bench micro_ops --benchmark_min_time=0.1
+
+if [ "$JSON" = 1 ]; then
+  # Aggregate the per-bench documents into one BENCH_results.json:
+  # {"schema_version":1,"benches":{"<name>":<per-bench document>,...}}.
+  # micro_ops emits google-benchmark's native format; it is included as-is.
+  {
+    printf '{"schema_version":1,"benches":{'
+    first=1
+    for f in "$JSON_DIR"/*.json; do
+      [ -e "$f" ] || continue
+      name="$(basename "$f" .json)"
+      if [ "$first" = 1 ]; then first=0; else printf ','; fi
+      printf '"%s":' "$name"
+      cat "$f"
+    done
+    printf '}}\n'
+  } > BENCH_results.json
+  echo "Wrote BENCH_results.json ($(ls "$JSON_DIR" | wc -l) benches)"
+fi
+
+if [ -n "$FAILED" ]; then
+  echo "Failed benches:$FAILED" >&2
+  exit 1
+fi

@@ -14,6 +14,24 @@ namespace {
 constexpr double kRatio = 1.062;
 }  // namespace
 
+const std::array<SimTime, Histogram::kNumBuckets>& Histogram::Bounds() {
+  // Bucket b covers (Bounds()[b-1], Bounds()[b]] with an implicit lower
+  // bound of 0 for bucket 0. Built once by cumulative multiplication in
+  // long double so the integer boundaries are monotone and self-consistent
+  // (pow() per call drifts across libm implementations).
+  static const std::array<SimTime, kNumBuckets> bounds = [] {
+    std::array<SimTime, kNumBuckets> b{};
+    long double upper = kRatio;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      upper *= kRatio;
+      b[i] = static_cast<SimTime>(upper);
+      if (i > 0 && b[i] <= b[i - 1]) b[i] = b[i - 1] + 1;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
 Histogram::Histogram()
     : buckets_(kNumBuckets, 0),
       count_(0),
@@ -23,14 +41,20 @@ Histogram::Histogram()
 
 int Histogram::BucketFor(SimTime v) {
   if (v <= 1) return 0;
+  const std::array<SimTime, kNumBuckets>& bounds = Bounds();
+  // Log gives the approximate index; the table fixes up boundary drift so
+  // a value always lands in the bucket whose bounds actually contain it.
   int b = static_cast<int>(std::log(static_cast<double>(v)) / std::log(kRatio));
+  if (b < 0) b = 0;
   if (b >= kNumBuckets) b = kNumBuckets - 1;
+  while (b > 0 && v <= bounds[b - 1]) --b;
+  while (b < kNumBuckets - 1 && v > bounds[b]) ++b;
   return b;
 }
 
-SimTime Histogram::BucketUpper(int b) {
-  return static_cast<SimTime>(std::pow(kRatio, b + 1));
-}
+SimTime Histogram::BucketUpper(int b) { return Bounds()[b]; }
+
+SimTime Histogram::BucketLower(int b) { return b == 0 ? 0 : Bounds()[b - 1]; }
 
 void Histogram::Record(SimTime value) {
   if (value < 0) value = 0;
@@ -63,13 +87,27 @@ double Histogram::Mean() const {
 
 SimTime Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
   const double target = p / 100.0 * static_cast<double>(count_);
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) >= target) {
-      return std::min(BucketUpper(i), max_);
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Interpolate within the bucket: samples are assumed uniformly spread
+      // across (lower, upper]. Clamping to the observed [min_, max_] keeps
+      // tiny and extreme percentiles honest (the first nonempty bucket's
+      // upper bound can exceed every recorded sample).
+      const double lower = static_cast<double>(BucketLower(i));
+      const double upper = static_cast<double>(BucketUpper(i));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      SimTime r = static_cast<SimTime>(lower + frac * (upper - lower));
+      r = std::max(r, min_);
+      r = std::min(r, max_);
+      return r;
     }
+    seen += buckets_[i];
   }
   return max_;
 }

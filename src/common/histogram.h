@@ -1,6 +1,7 @@
 #ifndef DURASSD_COMMON_HISTOGRAM_H_
 #define DURASSD_COMMON_HISTOGRAM_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,7 +26,8 @@ class Histogram {
   SimTime min() const { return count_ == 0 ? 0 : min_; }
   SimTime max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
-  /// p in [0, 100].
+  /// p in [0, 100]. Interpolates within the containing bucket and clamps to
+  /// the observed [min, max]; p <= 0 returns min, p >= 100 returns max.
   SimTime Percentile(double p) const;
 
   /// "mean p25 p50 p75 p99 max" in milliseconds with one decimal.
@@ -33,8 +35,11 @@ class Histogram {
 
  private:
   static constexpr int kNumBuckets = 512;
+  /// Monotone integer bucket upper bounds (built once; see Bounds() impl).
+  static const std::array<SimTime, kNumBuckets>& Bounds();
   static int BucketFor(SimTime v);
   static SimTime BucketUpper(int b);
+  static SimTime BucketLower(int b);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_;

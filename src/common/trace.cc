@@ -1,0 +1,89 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace durassd {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCmdStart: return "cmd_start";
+    case TraceEventType::kCmdAck: return "cmd_ack";
+    case TraceEventType::kReadStart: return "read_start";
+    case TraceEventType::kReadDone: return "read_done";
+    case TraceEventType::kDestageDone: return "destage_done";
+    case TraceEventType::kFlushStart: return "flush_start";
+    case TraceEventType::kFlushDone: return "flush_done";
+    case TraceEventType::kGcStart: return "gc_start";
+    case TraceEventType::kGcEnd: return "gc_end";
+    case TraceEventType::kPowerCut: return "power_cut";
+    case TraceEventType::kPowerOn: return "power_on";
+    case TraceEventType::kDump: return "dump";
+    case TraceEventType::kReplay: return "replay";
+    case TraceEventType::kTxnCommit: return "txn_commit";
+    case TraceEventType::kFsync: return "fsync";
+    case TraceEventType::kWalAppend: return "wal_append";
+    case TraceEventType::kDoubleWrite: return "double_write";
+    case TraceEventType::kKvCommit: return "kv_commit";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t capacity) : ring_(std::max<size_t>(capacity, 1)) {}
+
+size_t Tracer::size() const {
+  return static_cast<size_t>(
+      std::min<uint64_t>(next_, ring_.size()));
+}
+
+uint64_t Tracer::dropped() const {
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  const uint64_t first = next_ - n;
+  for (uint64_t i = first; i < next_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::AppendJsonl(std::string* out) const {
+  for (const TraceEvent& e : Events()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("t");
+    w.Int(e.t);
+    w.Key("type");
+    w.String(TraceEventTypeName(e.type));
+    w.Key("a0");
+    w.Uint(e.a0);
+    w.Key("a1");
+    w.Uint(e.a1);
+    w.EndObject();
+    out->append(w.str());
+    out->push_back('\n');
+  }
+}
+
+Status Tracer::ExportJsonl(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  std::string buf;
+  AppendJsonl(&buf);
+  const size_t written = fwrite(buf.data(), 1, buf.size(), f);
+  fclose(f);
+  if (written != buf.size()) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace durassd

@@ -19,7 +19,15 @@ Database::Database(SimFileSystem* data_fs, SimFileSystem* log_fs,
     : data_fs_(data_fs),
       log_fs_(log_fs),
       opts_(options),
-      cpu_(options.cpu_parallelism) {}
+      cpu_(options.cpu_parallelism),
+      h_txn_ns_(metrics_.GetHistogram("db.txn_ns")),
+      h_fsync_ns_(metrics_.GetHistogram("db.fsync_ns")) {}
+
+void Database::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (wal_) wal_->set_tracer(tracer);
+  if (dwb_) dwb_->set_tracer(tracer);
+}
 
 StatusOr<std::unique_ptr<Database>> Database::Open(IoContext& io,
                                                    SimFileSystem* data_fs,
@@ -30,13 +38,14 @@ StatusOr<std::unique_ptr<Database>> Database::Open(IoContext& io,
   db->data_file_ = data_fs->Open(kDataFile);
   db->dwb_file_ = data_fs->Open(kDwbFile);
   db->wal_file_ = log_fs->Open(kWalFile);
-  db->wal_ = std::make_unique<Wal>(db->wal_file_,
-                                   Wal::Options{options.checkpoint_log_bytes});
+  db->wal_ = std::make_unique<Wal>(
+      db->wal_file_,
+      Wal::Options{options.checkpoint_log_bytes, &db->metrics_});
   if (options.double_write) {
     db->dwb_ = std::make_unique<DoubleWriteBuffer>(
         db->dwb_file_, db->data_file_,
-        DoubleWriteBuffer::Options{options.page_size,
-                                   options.dwb_batch_pages});
+        DoubleWriteBuffer::Options{options.page_size, options.dwb_batch_pages,
+                                   &db->metrics_});
   }
   db->pool_ = std::make_unique<BufferPool>(
       db->data_file_, db->wal_.get(), db->dwb_.get(),
@@ -122,6 +131,7 @@ StatusOr<TxnId> Database::Begin(IoContext& io) {
     return Status::InvalidArgument("a transaction is already active");
   }
   active_.id = next_txn_++;
+  active_.begin_time = io.now;
   active_.undo.clear();
   active_.dirtied.clear();
   if (!in_recovery_) {
@@ -130,7 +140,6 @@ StatusOr<TxnId> Database::Begin(IoContext& io) {
     rec.txn = active_.id;
     wal_->Append(rec);
   }
-  (void)io;
   return active_.id;
 }
 
@@ -228,11 +237,23 @@ Status Database::Commit(IoContext& io, TxnId txn) {
   rec.type = WalRecordType::kCommit;
   rec.txn = txn;
   const Lsn lsn = wal_->Append(rec);
+  const SimTime sync_start = io.now;
   DURASSD_RETURN_IF_ERROR(wal_->SyncTo(io, lsn));  // Commit durability.
+  h_fsync_ns_->Record(io.now - sync_start);
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kFsync, txn,
+                    static_cast<uint64_t>(io.now - sync_start));
+  }
 
+  const SimTime begin_time = active_.begin_time;
   for (PageId id : active_.dirtied) pool_->ClearOwner(id, txn);
   active_ = ActiveTxn{};
   stats_.txns_committed++;
+  h_txn_ns_->Record(io.now - begin_time);
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kTxnCommit, txn,
+                    static_cast<uint64_t>(io.now - begin_time));
+  }
   return MaybeCheckpoint(io);
 }
 

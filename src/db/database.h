@@ -8,8 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/resource.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "db/btree.h"
 #include "db/buffer_pool.h"
 #include "db/double_write_buffer.h"
@@ -104,6 +106,16 @@ class Database : public PageAllocator {
   const Options& options() const { return opts_; }
   BufferPool* pool() { return pool_.get(); }
 
+  /// Engine-level latency attribution (txn time, commit fsync, WAL sync,
+  /// double-write batches).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches (or detaches, with nullptr) an event tracer for engine +
+  /// WAL + double-write events. Recording never advances virtual time.
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
  private:
   struct TreeInfo {
     uint32_t id;
@@ -119,6 +131,7 @@ class Database : public PageAllocator {
   };
   struct ActiveTxn {
     TxnId id = 0;
+    SimTime begin_time = 0;  ///< io.now at Begin (db.txn_ns sample).
     std::vector<UndoOp> undo;
     std::vector<PageId> dirtied;
   };
@@ -141,6 +154,9 @@ class Database : public PageAllocator {
   SimFileSystem* data_fs_;
   SimFileSystem* log_fs_;
   Options opts_;
+  /// Declared before wal_/dwb_ construction sites use it (Open passes
+  /// &metrics_ into their Options).
+  MetricsRegistry metrics_;
 
   SimFile* data_file_ = nullptr;
   SimFile* dwb_file_ = nullptr;
@@ -160,6 +176,11 @@ class Database : public PageAllocator {
 
   ResourceTimeline cpu_;
   Stats stats_;
+
+  Tracer* tracer_ = nullptr;
+  /// Registered in the constructor (always non-null).
+  Histogram* h_txn_ns_;
+  Histogram* h_fsync_ns_;
 };
 
 }  // namespace durassd

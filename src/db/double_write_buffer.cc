@@ -6,7 +6,11 @@ namespace durassd {
 
 DoubleWriteBuffer::DoubleWriteBuffer(SimFile* dwb_file, SimFile* data_file,
                                      Options options)
-    : dwb_file_(dwb_file), data_file_(data_file), opts_(options) {}
+    : dwb_file_(dwb_file), data_file_(data_file), opts_(options) {
+  if (opts_.metrics != nullptr) {
+    h_batch_ns_ = opts_.metrics->GetHistogram("dwb.batch_ns");
+  }
+}
 
 Status DoubleWriteBuffer::Add(IoContext& io, PageId page_id,
                               std::string image) {
@@ -33,6 +37,8 @@ const std::string* DoubleWriteBuffer::PendingImage(PageId page_id) const {
 
 Status DoubleWriteBuffer::FlushBatch(IoContext& io) {
   if (pending_.empty()) return Status::OK();
+  const SimTime entered = io.now;
+  const uint64_t batch_pages = pending_.size();
   stats_.batches++;
   stats_.pages_double_written += pending_.size();
 
@@ -64,6 +70,11 @@ Status DoubleWriteBuffer::FlushBatch(IoContext& io) {
   io.AdvanceTo(r.done);
 
   pending_.clear();
+  if (h_batch_ns_) h_batch_ns_->Record(io.now - entered);
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kDoubleWrite, batch_pages,
+                    static_cast<uint64_t>(io.now - entered));
+  }
   return Status::OK();
 }
 

@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "db/io_context.h"
 #include "host/sim_file.h"
@@ -25,6 +27,9 @@ class DoubleWriteBuffer {
     uint32_t page_size = 4 * kKiB;
     /// Pages accumulated in memory before one batched double-write pass.
     uint32_t batch_pages = 16;
+    /// Owner's metrics registry; the buffer registers under the "dwb."
+    /// prefix. May be null (no metrics collected).
+    MetricsRegistry* metrics = nullptr;
   };
 
   DoubleWriteBuffer(SimFile* dwb_file, SimFile* data_file, Options options);
@@ -53,12 +58,19 @@ class DoubleWriteBuffer {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attaches (or detaches, with nullptr) an event tracer.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   SimFile* dwb_file_;
   SimFile* data_file_;
   Options opts_;
   std::vector<std::pair<PageId, std::string>> pending_;
   Stats stats_;
+
+  Tracer* tracer_ = nullptr;
+  /// Registered metrics (null when no registry was supplied).
+  Histogram* h_batch_ns_ = nullptr;
 };
 
 }  // namespace durassd

@@ -40,7 +40,13 @@ bool WalRecord::Decode(Slice payload, WalRecord* out) {
   return true;
 }
 
-Wal::Wal(SimFile* file, Options options) : file_(file), opts_(options) {}
+Wal::Wal(SimFile* file, Options options) : file_(file), opts_(options) {
+  if (opts_.metrics != nullptr) {
+    h_sync_ns_ = opts_.metrics->GetHistogram("wal.sync_ns");
+    c_appends_ = opts_.metrics->Counter("wal.appends");
+    c_group_rides_ = opts_.metrics->Counter("wal.group_rides");
+  }
+}
 
 namespace {
 constexpr uint32_t kFrameHeader = 12;  // [len u32][gen u32][crc u32]
@@ -55,6 +61,10 @@ Lsn Wal::Append(const WalRecord& record) {
   tail_.append(payload);
   next_lsn_ += kFrameHeader + payload.size();
   stats_.appends++;
+  if (c_appends_) ++*c_appends_;
+  if (tracer_) {
+    tracer_->Record(0, TraceEventType::kWalAppend, lsn, payload.size());
+  }
   return lsn;
 }
 
@@ -71,11 +81,14 @@ Status Wal::WriteOut(IoContext& io) {
 }
 
 Status Wal::SyncTo(IoContext& io, Lsn lsn) {
+  const SimTime entered = io.now;
   // Group commit: if a device flush already in flight covers this LSN,
   // ride it instead of issuing another (InnoDB's group commit).
   if (lsn < pending_sync_lsn_ && io.now < pending_sync_done_) {
     io.AdvanceTo(pending_sync_done_);
     stats_.group_rides++;
+    if (c_group_rides_) ++*c_group_rides_;
+    if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
     return Status::OK();
   }
   if (lsn > written_lsn_ || !tail_.empty()) {
@@ -87,6 +100,7 @@ Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   pending_sync_done_ = r.done;
   io.AdvanceTo(r.done);
   stats_.syncs++;
+  if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
   return Status::OK();
 }
 

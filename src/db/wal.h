@@ -5,9 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "common/trace.h"
 #include "db/io_context.h"
 #include "host/sim_file.h"
 
@@ -49,6 +51,9 @@ class Wal {
   struct Options {
     /// Recycle the log by checkpointing before it outgrows this.
     uint64_t soft_limit_bytes = 64 * kMiB;
+    /// Owner's metrics registry; the WAL registers under the "wal."
+    /// prefix. May be null (no metrics collected).
+    MetricsRegistry* metrics = nullptr;
   };
 
   Wal(SimFile* file, Options options);
@@ -100,6 +105,9 @@ class Wal {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Attaches (or detaches, with nullptr) an event tracer for WAL events.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   SimFile* file_;
   Options opts_;
@@ -113,6 +121,12 @@ class Wal {
   SimTime pending_sync_done_ = 0;
   std::string tail_;     ///< Appended but not yet written.
   Stats stats_;
+
+  Tracer* tracer_ = nullptr;
+  /// Registered metrics (null when no registry was supplied).
+  Histogram* h_sync_ns_ = nullptr;
+  uint64_t* c_appends_ = nullptr;
+  uint64_t* c_group_rides_ = nullptr;
 };
 
 }  // namespace durassd

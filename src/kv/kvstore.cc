@@ -27,7 +27,12 @@ uint32_t KvStore::Node::SerializedSize() const {
 
 KvStore::KvStore(SimFileSystem* fs, SimFile* file, std::string name,
                  Options options)
-    : fs_(fs), file_(file), name_(std::move(name)), opts_(options) {}
+    : fs_(fs),
+      file_(file),
+      name_(std::move(name)),
+      opts_(options),
+      h_commit_ns_(metrics_.GetHistogram("kv.commit_ns")),
+      h_fsync_ns_(metrics_.GetHistogram("kv.fsync_ns")) {}
 
 StatusOr<std::unique_ptr<KvStore>> KvStore::Open(IoContext& io,
                                                  SimFileSystem* fs,
@@ -367,9 +372,15 @@ Status KvStore::WriteHeader(IoContext& io) {
   const SimFile::IoResult w = file_->Write(io.now, tail_base_, tail_);
   DURASSD_RETURN_IF_ERROR(w.status);
   io.AdvanceTo(w.done);
+  const SimTime sync_start = io.now;
   const SimFile::IoResult s = file_->Sync(io.now);
   DURASSD_RETURN_IF_ERROR(s.status);
   io.AdvanceTo(s.done);
+  h_fsync_ns_->Record(io.now - sync_start);
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kFsync, seq_,
+                    static_cast<uint64_t>(io.now - sync_start));
+  }
 
   tail_base_ = append_offset_;
   tail_.clear();
@@ -378,9 +389,15 @@ Status KvStore::WriteHeader(IoContext& io) {
 
 Status KvStore::Commit(IoContext& io) {
   if (updates_since_commit_ == 0 && tail_.empty()) return Status::OK();
+  const SimTime entered = io.now;
   stats_.commits++;
   updates_since_commit_ = 0;
   DURASSD_RETURN_IF_ERROR(WriteHeader(io));
+  h_commit_ns_->Record(io.now - entered);
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kKvCommit, seq_,
+                    static_cast<uint64_t>(io.now - entered));
+  }
   if (opts_.auto_compact && file_bytes() > 0 &&
       static_cast<double>(live_bytes_) <
           static_cast<double>(file_bytes()) *

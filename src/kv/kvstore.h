@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "db/io_context.h"
 #include "host/sim_file.h"
 
@@ -71,6 +73,15 @@ class KvStore {
   uint64_t live_bytes() const { return live_bytes_; }
   uint64_t committed_seq() const { return seq_; }
   const Stats& stats() const { return stats_; }
+
+  /// Store-level latency attribution (commit, header fsync).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches (or detaches, with nullptr) an event tracer. Recording never
+  /// advances virtual time.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
  private:
   struct Entry {
@@ -136,6 +147,12 @@ class KvStore {
   std::map<uint64_t, Node> node_cache_;
 
   Stats stats_;
+
+  MetricsRegistry metrics_;
+  Tracer* tracer_ = nullptr;
+  /// Registered in the constructor (always non-null).
+  Histogram* h_commit_ns_;
+  Histogram* h_fsync_ns_;
 };
 
 }  // namespace durassd

@@ -8,6 +8,12 @@ namespace durassd {
 
 Ftl::Ftl(FlashArray* flash, Options options)
     : flash_(flash), opts_(options) {
+  if (opts_.metrics != nullptr) {
+    h_program_ns_ = opts_.metrics->GetHistogram("ftl.program_ns");
+    h_gc_relocation_ns_ = opts_.metrics->GetHistogram("ftl.gc_relocation_ns");
+    c_ecc_retries_ = opts_.metrics->Counter("ftl.ecc_retries");
+    c_gc_runs_ = opts_.metrics->Counter("ftl.gc_runs");
+  }
   const FlashGeometry& g = flash_->geometry();
   assert(g.page_size % opts_.sector_size == 0);
   sectors_per_page_ = g.page_size / opts_.sector_size;
@@ -101,6 +107,7 @@ Status Ftl::ReadPageChecked(SimTime now, Ppn ppn, std::string* page,
     // Read-retry: re-sense with shifted thresholds; each attempt rolls a
     // fresh raw error count and costs a full page read.
     stats_.read_retries++;
+    if (c_ecc_retries_ != nullptr) ++*c_ecc_retries_;
     t = flash_->ReadPage(t, ppn, page, &raw);
   }
   if (done != nullptr) *done = t;
@@ -213,6 +220,7 @@ Status Ftl::ProgramSectors(SimTime now,
   if (!ppn_or.ok()) return ppn_or.status();
   const Ppn ppn = *ppn_or;
   stats_.host_programs++;
+  if (h_program_ns_ != nullptr) h_program_ns_->Record(prog_done - now);
   // ProgramPage's completion includes channel wait; its start is what the
   // torn-write model keys on. Recompute conservatively as now (transfer
   // begins immediately); the flash layer tracks the precise program window.
@@ -264,6 +272,10 @@ Status Ftl::ReadSector(SimTime now, Lpn lpn, std::string* out, SimTime* done,
 Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   PlaneAlloc& plane = planes_[plane_idx];
   stats_.gc_runs++;
+  if (c_gc_runs_ != nullptr) ++*c_gc_runs_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, TraceEventType::kGcStart, plane_idx);
+  }
 
   // Greedy victim: fewest valid pages among full (non-active, non-free,
   // non-dump) blocks; erase count breaks ties (mild wear leveling).
@@ -291,6 +303,10 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   }
 
   DURASSD_RETURN_IF_ERROR(RelocateLiveSectors(now, plane_idx, victim));
+  if (h_gc_relocation_ns_ != nullptr) {
+    h_gc_relocation_ns_->Record(std::max<SimTime>(0, last_relocation_done_ -
+                                                         now));
+  }
 
   SimTime erase_done = 0;
   const Status erase_st =
@@ -298,6 +314,11 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   if (erase_st.ok()) {
     stats_.gc_erases++;
     plane.free_blocks.push_back(victim);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(erase_st.ok() ? erase_done : last_relocation_done_,
+                    TraceEventType::kGcEnd, plane_idx,
+                    last_relocation_moved_);
   }
   // An erase failure grew a bad block: nothing was reclaimed, but the live
   // data already moved out, so GC itself still succeeded.
@@ -307,6 +328,8 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
 Status Ftl::RelocateLiveSectors(SimTime now, uint32_t plane_idx,
                                 uint32_t block) {
   const FlashGeometry& g = flash_->geometry();
+  last_relocation_done_ = now;
+  last_relocation_moved_ = 0;
 
   // Collect live sectors, re-pairing them two per program.
   std::vector<std::pair<Lpn, std::string>> live;
@@ -347,6 +370,8 @@ Status Ftl::RelocateLiveSectors(SimTime now, uint32_t plane_idx,
     if (!dst_or.ok()) return dst_or.status();
     const Ppn dst = *dst_or;
     stats_.gc_programs++;
+    last_relocation_done_ = std::max(last_relocation_done_, done);
+    last_relocation_moved_ += count;
     for (size_t j = 0; j < count; ++j) {
       const Lpn lpn = live[i + j].first;
       // Old slot dies; mapping follows the data. Delta is untouched: a GC

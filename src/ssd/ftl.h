@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "flash/flash_array.h"
 
@@ -40,6 +42,9 @@ class Ftl {
     uint32_t read_retry_limit = 4;
     /// Fresh pages tried when a program reports failure before giving up.
     uint32_t program_retry_limit = 3;
+    /// Owner's metrics registry; the FTL registers its own metrics under
+    /// the "ftl." prefix. May be null (no metrics collected).
+    MetricsRegistry* metrics = nullptr;
   };
 
   struct SectorWrite {
@@ -122,6 +127,9 @@ class Ftl {
   const Stats& stats() const { return stats_; }
   FlashArray* flash() { return flash_; }
 
+  /// Attaches (or detaches, with nullptr) an event tracer for GC events.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Free blocks currently available in the given plane (test hook).
   size_t free_blocks_in_plane(uint32_t plane) const {
     return planes_[plane].free_blocks.size();
@@ -198,6 +206,17 @@ class Ftl {
   std::vector<PlaneAlloc> planes_;
   uint32_t rr_plane_ = 0;
   Stats stats_;
+
+  Tracer* tracer_ = nullptr;
+  /// Registered metrics (null when no registry was supplied).
+  Histogram* h_program_ns_ = nullptr;
+  Histogram* h_gc_relocation_ns_ = nullptr;
+  uint64_t* c_ecc_retries_ = nullptr;
+  uint64_t* c_gc_runs_ = nullptr;
+  /// Completion time / sector count of the latest RelocateLiveSectors,
+  /// consumed by RunGc for the gc_relocation_ns sample.
+  SimTime last_relocation_done_ = 0;
+  uint64_t last_relocation_moved_ = 0;
 };
 
 }  // namespace durassd

@@ -24,10 +24,17 @@ SsdDevice::SsdDevice(SsdConfig config)
                                  cfg_.dump_blocks_per_plane,
                                  cfg_.ecc_correctable_bits,
                                  cfg_.read_retry_limit,
-                                 cfg_.program_retry_limit}),
+                                 cfg_.program_retry_limit,
+                                 &metrics_}),
       bus_(1),
       fw_(cfg_.fw_parallelism),
-      ncq_(cfg_.ncq_depth) {}
+      ncq_(cfg_.ncq_depth),
+      h_ncq_wait_ns_(metrics_.GetHistogram("ssd.ncq_wait_ns")),
+      h_bus_ns_(metrics_.GetHistogram("ssd.bus_ns")),
+      h_fw_ns_(metrics_.GetHistogram("ssd.fw_ns")),
+      h_frame_stall_ns_(metrics_.GetHistogram("ssd.frame_stall_ns")),
+      h_destage_ns_(metrics_.GetHistogram("ssd.destage_ns")),
+      h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")) {}
 
 SimTime SsdDevice::BusTime(uint32_t nsec, bool is_write) const {
   const double rate =
@@ -52,6 +59,7 @@ SimTime SsdDevice::AcquireFrame(SimTime t) {
     outstanding_.pop();
     stats_.write_stalls++;
     stats_.write_stall_time += freed - t;
+    h_frame_stall_ns_->Record(freed - t);
     return freed;
   }
   return t;
@@ -107,6 +115,10 @@ Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
   SimTime start = 0;
   SimTime done = 0;
   DURASSD_RETURN_IF_ERROR(ftl_.ProgramSectors(t, writes, &start, &done));
+  h_destage_ns_->Record(done - t);
+  if (tracer_) {
+    tracer_->Record(done, TraceEventType::kDestageDone, group[0], group.size());
+  }
   for (Lpn lpn : group) {
     CacheEntry& e = cache_[lpn];
     e.program_start = start;
@@ -126,14 +138,16 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
     return {Status::InvalidArgument("write beyond device capacity"), now};
   }
   max_time_seen_ = std::max(max_time_seen_, now);
-  stats_.host_writes++;
-  stats_.host_written_sectors += nsec;
+  if (tracer_) tracer_->Record(now, TraceEventType::kCmdStart, lpn, nsec);
 
   const SimTime est = BusTime(nsec, true) + FwTime(nsec, true);
   const ResourceTimeline::Grant slot = ncq_.Acquire(now, est);
   const ResourceTimeline::Grant bus =
       bus_.Acquire(slot.start, BusTime(nsec, true));
   const ResourceTimeline::Grant fw = fw_.Acquire(bus.done, FwTime(nsec, true));
+  h_ncq_wait_ns_->Record(slot.start - now);
+  h_bus_ns_->Record(bus.done - bus.start);
+  h_fw_ns_->Record(fw.done - fw.start);
 
   if (!cfg_.cache_enabled) {
     // Write-through: program synchronously and persist the mapping entry
@@ -161,6 +175,11 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
         last_done + MappingPersistCost(ftl_.dirty_mapping_entries());
     ftl_.PersistMapping();
     max_time_seen_ = std::max(max_time_seen_, ack);
+    // Counted here, not at entry: a failed program above must not inflate
+    // host_written_sectors (it would understate WriteAmplification()).
+    stats_.host_writes++;
+    stats_.host_written_sectors += nsec;
+    if (tracer_) tracer_->Record(ack, TraceEventType::kCmdAck, lpn, nsec);
     return {Status::OK(), ack};
   }
 
@@ -215,6 +234,9 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
   }
 
   max_time_seen_ = std::max(max_time_seen_, ack);
+  stats_.host_writes++;
+  stats_.host_written_sectors += nsec;
+  if (tracer_) tracer_->Record(ack, TraceEventType::kCmdAck, lpn, nsec);
   return {Status::OK(), ack};
 }
 
@@ -227,6 +249,7 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
   max_time_seen_ = std::max(max_time_seen_, now);
   stats_.host_reads++;
   stats_.host_read_sectors += nsec;
+  if (tracer_) tracer_->Record(now, TraceEventType::kReadStart, lpn, nsec);
 
   // FLUSH CACHE is a non-queued command: reads arriving while one is being
   // processed wait for it (writes still land in the cache). This is the
@@ -245,6 +268,8 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
   const ResourceTimeline::Grant slot = ncq_.Acquire(now, est);
   const ResourceTimeline::Grant fw =
       fw_.Acquire(slot.start, FwTime(nsec, false));
+  h_ncq_wait_ns_->Record(slot.start - now);
+  h_fw_ns_->Record(fw.done - fw.start);
 
   if (out != nullptr) {
     out->clear();
@@ -278,7 +303,9 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
 
   const ResourceTimeline::Grant bus =
       bus_.Acquire(media_done, BusTime(nsec, false));
+  h_bus_ns_->Record(bus.done - bus.start);
   max_time_seen_ = std::max(max_time_seen_, bus.done);
+  if (tracer_) tracer_->Record(bus.done, TraceEventType::kReadDone, lpn, nsec);
   // An uncorrectable sector is still transferred (with its damage) so the
   // host's checksums can diagnose it, but the command reports the error.
   return {read_status, bus.done};
@@ -333,16 +360,26 @@ BlockDevice::Result SsdDevice::Flush(SimTime now) {
   SimTime drain = start;
   const bool had_work =
       !outstanding_.empty() || ftl_.dirty_mapping_entries() > 0;
+  const uint64_t outstanding_destages = outstanding_.size();
+  if (tracer_) {
+    tracer_->Record(start, TraceEventType::kFlushStart, outstanding_destages,
+                    ftl_.dirty_mapping_entries());
+  }
   while (!outstanding_.empty()) {
     drain = std::max(drain, outstanding_.top());
     outstanding_.pop();
   }
+  h_flush_drain_ns_->Record(drain - start);
   const SimTime persist = MappingPersistCost(ftl_.dirty_mapping_entries());
   ftl_.PersistMapping();
 
   const SimTime done =
       drain + persist +
       (had_work ? cfg_.flush_fixed_overhead : kFlushEmptyOverhead);
+  if (tracer_) {
+    tracer_->Record(done, TraceEventType::kFlushDone,
+                    static_cast<uint64_t>(done - start), outstanding_destages);
+  }
   last_flush_start_ = start;
   last_flush_done_ = done;
   flush_windows_.emplace_back(start, done);
@@ -378,6 +415,10 @@ void SsdDevice::DumpOnCapacitor(SimTime t) {
     }
     stats_.dumped_pages += to_dump.size();
     dump_pages_used_ = static_cast<uint32_t>(to_dump.size());
+    if (tracer_) {
+      tracer_->Record(t, TraceEventType::kDump, to_dump.size(),
+                      stats_.capacitor_overruns);
+    }
     return;
   }
 
@@ -417,12 +458,20 @@ void SsdDevice::DumpOnCapacitor(SimTime t) {
   }
   stats_.dumped_pages += written;
   dump_pages_used_ = index;
+  if (tracer_) {
+    tracer_->Record(t, TraceEventType::kDump, written,
+                    stats_.capacitor_overruns);
+  }
 }
 
 void SsdDevice::PowerCut(SimTime t) {
   if (!powered_) return;
   powered_ = false;
   emergency_shutdown_ = true;
+  if (tracer_) {
+    tracer_->Record(t, TraceEventType::kPowerCut,
+                    cfg_.durable_cache ? 1 : 0, 0);
+  }
 
   if (cfg_.durable_cache) {
     // The capacitor budget covers NAND operations already issued to the
@@ -597,6 +646,10 @@ SimTime SsdDevice::ReplayDump() {
   ftl_.PersistMapping();
   const SimTime erased = ftl_.EraseDumpArea(replay_done);
   dump_pages_used_ = 0;
+  if (tracer_) {
+    tracer_->Record(erased, TraceEventType::kReplay, entries.size(),
+                    stats_.replayed_pages);
+  }
   return erased;
 }
 
@@ -621,6 +674,10 @@ SimTime SsdDevice::PowerOn() {
   // protection; a later power cut cannot shear it.
   flash_.QuiesceInFlight();
   max_time_seen_ = 0;
+  if (tracer_) {
+    tracer_->Record(duration, TraceEventType::kPowerOn,
+                    static_cast<uint64_t>(duration), 0);
+  }
   return duration;
 }
 

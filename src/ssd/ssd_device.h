@@ -9,8 +9,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/resource.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "flash/flash_array.h"
 #include "host/block_device.h"
@@ -100,6 +102,19 @@ class SsdDevice : public BlockDevice {
   /// Live fault-injection scripting hook (tests).
   FaultInjector& fault_injector() { return flash_.fault_injector(); }
 
+  /// Per-layer latency attribution (NCQ wait, bus, firmware, frame stalls,
+  /// destage, flush drain) plus the FTL's own metrics.
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches an event tracer (device + FTL events). Pass nullptr to
+  /// detach. Recording never advances virtual time.
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    ftl_.set_tracer(tracer);
+  }
+  Tracer* tracer() const { return tracer_; }
+
   /// Host-level write amplification: NAND bytes programmed / host bytes
   /// written (GC included). The endurance argument of Sec. 1 & 6.
   double WriteAmplification() const;
@@ -137,6 +152,9 @@ class SsdDevice : public BlockDevice {
   SimTime ReplayDump();
 
   SsdConfig cfg_;
+  /// Declared before ftl_ (construction order): the FTL registers its own
+  /// metrics into this registry.
+  MetricsRegistry metrics_;
   FlashArray flash_;
   Ftl ftl_;
 
@@ -165,6 +183,15 @@ class SsdDevice : public BlockDevice {
   uint32_t dump_pages_used_ = 0;
 
   Stats stats_;
+
+  Tracer* tracer_ = nullptr;
+  /// Registered per-layer latency histograms (always non-null).
+  Histogram* h_ncq_wait_ns_;
+  Histogram* h_bus_ns_;
+  Histogram* h_fw_ns_;
+  Histogram* h_frame_stall_ns_;
+  Histogram* h_destage_ns_;
+  Histogram* h_flush_drain_ns_;
 };
 
 }  // namespace durassd
