@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

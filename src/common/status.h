@@ -22,6 +22,10 @@ enum class StatusCode {
   kNotSupported,
   kAborted,         ///< Transaction aborted.
   kDataLoss,        ///< Acknowledged data was lost (volatile cache).
+  kResourceExhausted,  ///< Device permanently out of healthy resources
+                       ///< (spare-block exhaustion); writes are rejected
+                       ///< but reads still work. Distinct from kOutOfSpace,
+                       ///< which is transient/logical fullness.
 };
 
 /// Return-value error type. Cheap to copy in the OK case (no allocation).
@@ -62,6 +66,9 @@ class Status {
   static Status DataLoss(std::string m = "data loss") {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
+  static Status ResourceExhausted(std::string m = "resource exhausted") {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -72,6 +79,9 @@ class Status {
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

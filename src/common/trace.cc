@@ -27,6 +27,9 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kWalAppend: return "wal_append";
     case TraceEventType::kDoubleWrite: return "double_write";
     case TraceEventType::kKvCommit: return "kv_commit";
+    case TraceEventType::kDegraded: return "degraded";
+    case TraceEventType::kTxnAbort: return "txn_abort";
+    case TraceEventType::kInvariantViolation: return "invariant_violation";
   }
   return "unknown";
 }

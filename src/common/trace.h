@@ -33,6 +33,12 @@ enum class TraceEventType : uint8_t {
   kWalAppend,        ///< WAL record appended. a0=lsn, a1=bytes.
   kDoubleWrite,      ///< Double-write batch flushed. a0=pages, a1=dur_ns.
   kKvCommit,         ///< KvStore batch commit. a0=seq, a1=dur_ns.
+  kDegraded,         ///< Device entered sticky read-only degraded mode.
+                     ///< a0=plane, a1=bad_blocks at entry.
+  kTxnAbort,         ///< Engine aborted an in-flight transaction.
+                     ///< a0=txn/seq, a1=reason (StatusCode).
+  kInvariantViolation,  ///< Crash-harness oracle check failed.
+                        ///< a0=invariant id, a1=detail.
 };
 
 const char* TraceEventTypeName(TraceEventType type);

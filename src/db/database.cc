@@ -21,7 +21,62 @@ Database::Database(SimFileSystem* data_fs, SimFileSystem* log_fs,
       opts_(options),
       cpu_(options.cpu_parallelism),
       h_txn_ns_(metrics_.GetHistogram("db.txn_ns")),
-      h_fsync_ns_(metrics_.GetHistogram("db.fsync_ns")) {}
+      h_fsync_ns_(metrics_.GetHistogram("db.fsync_ns")),
+      c_degraded_aborts_(metrics_.Counter("db.degraded_aborts")) {}
+
+Status Database::ReadOnlyError() const {
+  if (poisoned_) {
+    return Status::DataLoss("database poisoned: rollback failed after "
+                            "device degradation");
+  }
+  return Status::ResourceExhausted("database is read-only: " +
+                                   degraded_reason_);
+}
+
+void Database::EnterReadOnly(IoContext& io, const Status& cause) {
+  if (read_only_) return;
+  read_only_ = true;
+  degraded_reason_ = cause.message();
+
+  // Roll the in-flight transaction back entirely in memory: the device no
+  // longer accepts writes, so no WAL records are appended and nothing is
+  // synced. The pool pages it dirtied are pinned by the no-steal rule, so
+  // the inverse operations hit resident pages and need no evictions.
+  if (active_.id != 0) {
+    const TxnId txn = active_.id;
+    while (!active_.undo.empty()) {
+      const UndoOp op = std::move(active_.undo.back());
+      active_.undo.pop_back();
+      BTree* t = TreeById(op.tree);
+      if (t == nullptr) continue;
+      MutationCtx m{wal_->next_lsn(), txn, &active_.dirtied};
+      Status s;
+      if (op.was_put) {
+        s = op.had_old ? t->Put(io, m, op.key, op.old_value)
+                       : t->Delete(io, m, op.key);
+        if (s.IsNotFound()) s = Status::OK();
+      } else {
+        s = t->Put(io, m, op.key, op.old_value);
+      }
+      if (!s.ok()) {
+        // The cached state now holds a half-undone transaction we cannot
+        // finish unwinding; refuse to serve it.
+        poisoned_ = true;
+        break;
+      }
+    }
+    for (PageId id : active_.dirtied) pool_->ClearOwner(id, txn);
+    SyncRootPointers();
+    active_ = ActiveTxn{};
+    stats_.txns_aborted++;
+    stats_.degraded_aborts++;
+    ++*c_degraded_aborts_;
+    if (tracer_) {
+      tracer_->Record(io.now, TraceEventType::kTxnAbort, txn,
+                      static_cast<uint64_t>(cause.code()));
+    }
+  }
+}
 
 void Database::set_tracer(Tracer* tracer) {
   tracer_ = tracer;
@@ -95,6 +150,7 @@ void Database::SyncRootPointers() {
 
 StatusOr<uint32_t> Database::CreateTree(IoContext& io,
                                         const std::string& name) {
+  if (read_only_) return ReadOnlyError();
   if (tree_names_.count(name) != 0) {
     return Status::InvalidArgument("tree exists: " + name);
   }
@@ -127,6 +183,7 @@ StatusOr<uint32_t> Database::GetTreeId(const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 StatusOr<TxnId> Database::Begin(IoContext& io) {
+  if (read_only_) return ReadOnlyError();
   if (active_.id != 0) {
     return Status::InvalidArgument("a transaction is already active");
   }
@@ -145,6 +202,17 @@ StatusOr<TxnId> Database::Begin(IoContext& io) {
 
 Status Database::Put(IoContext& io, TxnId txn, uint32_t tree, Slice key,
                      Slice value) {
+  if (read_only_) return ReadOnlyError();
+  Status s = PutImpl(io, txn, tree, key, value);
+  if (s.IsResourceExhausted()) {
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
+}
+
+Status Database::PutImpl(IoContext& io, TxnId txn, uint32_t tree, Slice key,
+                         Slice value) {
   if (txn != active_.id || txn == 0) {
     return Status::InvalidArgument("not the active transaction");
   }
@@ -190,6 +258,17 @@ Status Database::Put(IoContext& io, TxnId txn, uint32_t tree, Slice key,
 }
 
 Status Database::Delete(IoContext& io, TxnId txn, uint32_t tree, Slice key) {
+  if (read_only_) return ReadOnlyError();
+  Status s = DeleteImpl(io, txn, tree, key);
+  if (s.IsResourceExhausted()) {
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
+}
+
+Status Database::DeleteImpl(IoContext& io, TxnId txn, uint32_t tree,
+                            Slice key) {
   if (txn != active_.id || txn == 0) {
     return Status::InvalidArgument("not the active transaction");
   }
@@ -230,6 +309,18 @@ Status Database::Delete(IoContext& io, TxnId txn, uint32_t tree, Slice key) {
 }
 
 Status Database::Commit(IoContext& io, TxnId txn) {
+  if (read_only_) return ReadOnlyError();
+  Status s = CommitImpl(io, txn);
+  if (s.IsResourceExhausted()) {
+    // The commit record never became durable (the sync failed), so the
+    // transaction is not committed: abort it in memory and go read-only.
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
+}
+
+Status Database::CommitImpl(IoContext& io, TxnId txn) {
   if (txn != active_.id || txn == 0) {
     return Status::InvalidArgument("not the active transaction");
   }
@@ -254,42 +345,64 @@ Status Database::Commit(IoContext& io, TxnId txn) {
     tracer_->Record(io.now, TraceEventType::kTxnCommit, txn,
                     static_cast<uint64_t>(io.now - begin_time));
   }
-  return MaybeCheckpoint(io);
+  Status ck = MaybeCheckpoint(io);
+  if (ck.IsResourceExhausted()) {
+    // The commit itself is durable; the checkpoint that followed hit the
+    // degraded device and flipped the engine read-only. Don't report the
+    // committed transaction as failed.
+    return Status::OK();
+  }
+  return ck;
 }
 
 Status Database::Abort(IoContext& io, TxnId txn) {
+  if (read_only_) return ReadOnlyError();
   if (txn != active_.id || txn == 0) {
     return Status::InvalidArgument("not the active transaction");
   }
-  // Apply inverse operations in reverse, logging them as compensations so
-  // replay stays deterministic; then close the transaction.
-  std::vector<UndoOp> undo = std::move(active_.undo);
-  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-    BTree* t = TreeById(it->tree);
+  // Apply inverse operations in reverse (popping as they complete, so a
+  // failure mid-rollback leaves the remainder for EnterReadOnly to finish
+  // in memory), logging them as compensations so replay stays
+  // deterministic; then close the transaction.
+  while (!active_.undo.empty()) {
+    const UndoOp op = std::move(active_.undo.back());
+    active_.undo.pop_back();
+    BTree* t = TreeById(op.tree);
     assert(t != nullptr);
     WalRecord rec;
     rec.txn = txn;
-    rec.tree = it->tree;
-    rec.key = it->key;
-    if (it->was_put) {
-      if (it->had_old) {
+    rec.tree = op.tree;
+    rec.key = op.key;
+    if (op.was_put) {
+      if (op.had_old) {
         rec.type = WalRecordType::kPut;
-        rec.value = it->old_value;
+        rec.value = op.old_value;
       } else {
         rec.type = WalRecordType::kDelete;
       }
     } else {
       // A delete always had an old value.
       rec.type = WalRecordType::kPut;
-      rec.value = it->old_value;
+      rec.value = op.old_value;
     }
     const Lsn lsn = wal_->Append(rec);
     MutationCtx m{lsn, txn, &active_.dirtied};
+    Status s;
     if (rec.type == WalRecordType::kPut) {
-      DURASSD_RETURN_IF_ERROR(t->Put(io, m, rec.key, rec.value));
+      s = t->Put(io, m, rec.key, rec.value);
     } else {
-      Status s = t->Delete(io, m, rec.key);
-      if (!s.ok() && !s.IsNotFound()) return s;
+      s = t->Delete(io, m, rec.key);
+      if (s.IsNotFound()) s = Status::OK();
+    }
+    if (!s.ok()) {
+      if (s.IsResourceExhausted()) {
+        // The inverse op did not apply; requeue it and let EnterReadOnly
+        // finish the rollback without touching the device.
+        active_.undo.push_back(op);
+        EnterReadOnly(io, s);
+        return ReadOnlyError();
+      }
+      return s;
     }
   }
   WalRecord rec;
@@ -310,6 +423,7 @@ Status Database::Abort(IoContext& io, TxnId txn) {
 
 Status Database::Get(IoContext& io, uint32_t tree, Slice key,
                      std::string* value) {
+  if (poisoned_) return ReadOnlyError();
   BTree* t = TreeById(tree);
   if (t == nullptr) return Status::NotFound("no such tree");
   ChargeCpu(io);
@@ -319,6 +433,7 @@ Status Database::Get(IoContext& io, uint32_t tree, Slice key,
 
 Status Database::Scan(IoContext& io, uint32_t tree, Slice start, size_t limit,
                       std::vector<std::pair<std::string, std::string>>* out) {
+  if (poisoned_) return ReadOnlyError();
   BTree* t = TreeById(tree);
   if (t == nullptr) return Status::NotFound("no such tree");
   ChargeCpu(io);
@@ -328,6 +443,7 @@ Status Database::Scan(IoContext& io, uint32_t tree, Slice start, size_t limit,
 
 Status Database::CountRange(IoContext& io, uint32_t tree, Slice start,
                             Slice end, size_t cap, uint64_t* count) {
+  if (poisoned_) return ReadOnlyError();
   BTree* t = TreeById(tree);
   if (t == nullptr) return Status::NotFound("no such tree");
   ChargeCpu(io);
@@ -419,6 +535,16 @@ Status Database::WriteMetaPage(IoContext& io, Lsn ckpt_lsn, uint32_t gen) {
 }
 
 Status Database::Checkpoint(IoContext& io) {
+  if (read_only_) return ReadOnlyError();
+  Status s = CheckpointImpl(io);
+  if (s.IsResourceExhausted()) {
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
+}
+
+Status Database::CheckpointImpl(IoContext& io) {
   if (active_.id != 0) {
     return Status::InvalidArgument("checkpoint with active transaction");
   }
@@ -535,6 +661,7 @@ Status Database::ReplayRecords(IoContext& io,
         }
         break;
       case WalRecordType::kCheckpoint:
+      case WalRecordType::kPad:  // Filtered by ReadFrom; nothing to do.
         break;
     }
   }
@@ -603,21 +730,32 @@ Status Database::Recover(IoContext& io) {
     // LSN 0, generation 1, over an empty database (defaults above).
   }
 
-  // 3. Replay the durable log prefix.
+  // 3. Replay the durable log prefix. The resume point comes from the
+  //    scan itself so trailing kPad frames stay sealed: resuming before a
+  //    pad would rewrite its (synced) sector in place.
   std::vector<WalRecord> records;
-  DURASSD_RETURN_IF_ERROR(wal_->ReadFrom(io, ckpt_lsn, gen, &records));
-  const Lsn resume_lsn =
-      records.empty() ? ckpt_lsn
-                      : records.back().lsn + 12 +
-                            records.back().Encode().size();
+  Lsn resume_lsn = ckpt_lsn;
+  DURASSD_RETURN_IF_ERROR(
+      wal_->ReadFrom(io, ckpt_lsn, gen, &records, &resume_lsn));
   DURASSD_RETURN_IF_ERROR(ReplayRecords(io, records));
   wal_->ResumeAt(resume_lsn, gen);
+  // Drop the torn tail before any new frame is appended at resume_lsn:
+  // otherwise a complete stale frame stranded beyond the torn point could
+  // be resurrected by a second crash once fresh appends close the gap.
+  DURASSD_RETURN_IF_ERROR(wal_->TruncateTail(resume_lsn));
 
   in_recovery_ = false;
 
   // 4. Checkpoint immediately: truncates the replayed log and publishes a
-  //    clean master record.
-  return Checkpoint(io);
+  //    clean master record. On a degraded (read-only) device the
+  //    checkpoint cannot be written; the recovered state is still fully
+  //    served from memory, so recovery succeeds in read-only mode.
+  Status ck = CheckpointImpl(io);
+  if (ck.IsResourceExhausted()) {
+    EnterReadOnly(io, ck);
+    return Status::OK();
+  }
+  return ck;
 }
 
 }  // namespace durassd

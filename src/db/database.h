@@ -63,6 +63,8 @@ class Database : public PageAllocator {
     uint64_t recovered_records = 0;
     uint64_t undone_loser_txns = 0;
     uint64_t torn_pages_repaired = 0;
+    uint64_t degraded_aborts = 0;  ///< In-flight txns aborted on device
+                                   ///< degradation.
   };
 
   /// Opens (creating or recovering) a database. `data_fs` holds data +
@@ -99,6 +101,11 @@ class Database : public PageAllocator {
 
   // --- PageAllocator ---
   StatusOr<PageId> AllocatePage(IoContext& io) override;
+
+  /// True once the engine switched to read-only because the device entered
+  /// degraded mode (writes failing with kResourceExhausted). Mutations are
+  /// rejected; reads keep working from the recovered/committed state.
+  bool read_only() const { return read_only_; }
 
   const Stats& stats() const { return stats_; }
   const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
@@ -140,6 +147,16 @@ class Database : public PageAllocator {
 
   Status Initialize(IoContext& io);
   Status Recover(IoContext& io);
+  Status PutImpl(IoContext& io, TxnId txn, uint32_t tree, Slice key,
+                 Slice value);
+  Status DeleteImpl(IoContext& io, TxnId txn, uint32_t tree, Slice key);
+  Status CommitImpl(IoContext& io, TxnId txn);
+  Status CheckpointImpl(IoContext& io);
+  /// Switches to read-only mode: rolls the in-flight transaction back
+  /// in memory (no WAL appends, no device syncs — the device rejects
+  /// writes), then rejects all further mutations.
+  void EnterReadOnly(IoContext& io, const Status& cause);
+  Status ReadOnlyError() const;
   Status ReplayRecords(IoContext& io, const std::vector<WalRecord>& records);
   std::string SerializeMeta(Lsn ckpt_lsn, uint32_t gen) const;
   Status ParseMeta(Slice blob, Lsn* ckpt_lsn, uint32_t* gen);
@@ -173,6 +190,11 @@ class Database : public PageAllocator {
   TxnId next_txn_ = 1;
   ActiveTxn active_;
   bool in_recovery_ = false;
+  bool read_only_ = false;
+  /// Set when the in-memory rollback on degradation could not complete:
+  /// the cached state is no longer trustworthy, so reads fail too.
+  bool poisoned_ = false;
+  std::string degraded_reason_;
 
   ResourceTimeline cpu_;
   Stats stats_;
@@ -181,6 +203,7 @@ class Database : public PageAllocator {
   /// Registered in the constructor (always non-null).
   Histogram* h_txn_ns_;
   Histogram* h_fsync_ns_;
+  uint64_t* c_degraded_aborts_;
 };
 
 }  // namespace durassd

@@ -80,6 +80,23 @@ Status Wal::WriteOut(IoContext& io) {
   return Status::OK();
 }
 
+void Wal::PadToBoundary() {
+  const uint32_t align = opts_.pad_to_bytes;
+  if (align == 0 || next_lsn_ % align == 0) return;
+  uint64_t gap = align - next_lsn_ % align;
+  // A frame needs at least a header plus the one-byte record type; when
+  // the hole is smaller, pad through the whole next sector instead.
+  if (gap < kFrameHeader + 1) gap += align;
+  std::string payload(gap - kFrameHeader, '\0');
+  payload[0] = static_cast<char>(WalRecordType::kPad);
+  PutFixed32(&tail_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&tail_, generation_);
+  PutFixed32(&tail_, Crc32c(payload.data(), payload.size()));
+  tail_.append(payload);
+  next_lsn_ += gap;
+  stats_.pad_bytes += gap;
+}
+
 Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   const SimTime entered = io.now;
   // Group commit: if a device flush already in flight covers this LSN,
@@ -91,6 +108,10 @@ Status Wal::SyncTo(IoContext& io, Lsn lsn) {
     if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
     return Status::OK();
   }
+  // Seal the tail sector before making it durable: once fsynced, this
+  // sector must never be rewritten by a later append (a torn rewrite
+  // would destroy already-durable frames sharing it).
+  if (next_lsn_ > synced_lsn_) PadToBoundary();
   if (lsn > written_lsn_ || !tail_.empty()) {
     DURASSD_RETURN_IF_ERROR(WriteOut(io));
   }
@@ -98,6 +119,7 @@ Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   DURASSD_RETURN_IF_ERROR(r.status);
   pending_sync_lsn_ = written_lsn_;
   pending_sync_done_ = r.done;
+  synced_lsn_ = written_lsn_;
   io.AdvanceTo(r.done);
   stats_.syncs++;
   if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
@@ -112,7 +134,7 @@ Status Wal::EnsureWritten(IoContext& io, Lsn lsn) {
 }
 
 Status Wal::ReadFrom(IoContext& io, Lsn from, uint32_t gen,
-                     std::vector<WalRecord>* out) {
+                     std::vector<WalRecord>* out, Lsn* end_lsn) {
   out->clear();
   Lsn pos = from;
   const Lsn end = file_->size();
@@ -134,18 +156,30 @@ Status Wal::ReadFrom(IoContext& io, Lsn from, uint32_t gen,
     DURASSD_RETURN_IF_ERROR(r.status);
     io.AdvanceTo(r.done);
     if (Crc32c(payload.data(), payload.size()) != crc) break;  // Torn tail.
+    if (!payload.empty() &&
+        payload[0] == static_cast<char>(WalRecordType::kPad)) {
+      pos += kFrameHeader + len;  // Sector filler: consume, don't emit.
+      continue;
+    }
     WalRecord rec;
     if (!WalRecord::Decode(payload, &rec)) break;
     rec.lsn = pos;
     out->push_back(std::move(rec));
     pos += kFrameHeader + len;
   }
+  if (end_lsn != nullptr) *end_lsn = pos;
   return Status::OK();
+}
+
+Status Wal::TruncateTail(Lsn lsn) {
+  if (file_->size() <= lsn) return Status::OK();
+  return file_->Truncate(lsn);
 }
 
 void Wal::ResetTo(Lsn lsn, uint32_t gen) {
   next_lsn_ = lsn;
   written_lsn_ = lsn;
+  synced_lsn_ = lsn;
   last_checkpoint_lsn_ = lsn;
   generation_ = gen;
   tail_.clear();

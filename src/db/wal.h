@@ -26,6 +26,10 @@ enum class WalRecordType : uint8_t {
   kAbort = 5,    ///< Written after the in-memory rollback completed.
   kCreateTree = 6,  ///< {tree_id, name}
   kCheckpoint = 7,
+  /// Sector filler appended by SyncTo so that a synced sector is never
+  /// rewritten in place by a later append (see Wal::Options::pad_to_bytes).
+  /// Skipped by ReadFrom; never surfaces in replay.
+  kPad = 8,
 };
 
 struct WalRecord {
@@ -54,6 +58,14 @@ class Wal {
     /// Owner's metrics registry; the WAL registers under the "wal."
     /// prefix. May be null (no metrics collected).
     MetricsRegistry* metrics = nullptr;
+    /// Tail padding unit (jbd2-style): SyncTo fills the log up to the next
+    /// multiple of this with a kPad frame before issuing the fsync, so a
+    /// sector covered by a sync is never rewritten in place by a later
+    /// append. Without it, a later append does a read-modify-write of the
+    /// synced tail sector; on a volatile-cache device that exposes torn
+    /// writes, a power cut shearing that NAND program destroys previously
+    /// fsynced commit records sharing the sector. 0 disables padding.
+    uint32_t pad_to_bytes = 4096;
   };
 
   Wal(SimFile* file, Options options);
@@ -79,10 +91,14 @@ class Wal {
 
   /// Reads every well-formed record of generation `gen` starting at `from`
   /// (stops at the first torn/invalid/foreign-generation frame — the
-  /// durable prefix). Scans the file itself, so it works on a freshly
-  /// opened Wal after a crash.
+  /// durable prefix). kPad filler frames are consumed but not emitted.
+  /// Scans the file itself, so it works on a freshly opened Wal after a
+  /// crash. When `end_lsn` is non-null it receives the byte offset just
+  /// past the last well-formed frame (pads included) — the position to
+  /// ResumeAt; resuming before a trailing pad would rewrite its synced
+  /// sector in place.
   Status ReadFrom(IoContext& io, Lsn from, uint32_t gen,
-                  std::vector<WalRecord>* out);
+                  std::vector<WalRecord>* out, Lsn* end_lsn = nullptr);
 
   /// Logically truncates the log: subsequent appends start at `lsn` with a
   /// new generation, making any stale frames beyond unreadable. (Space
@@ -93,15 +109,24 @@ class Wal {
   void ResumeAt(Lsn lsn, uint32_t gen) {
     next_lsn_ = lsn;
     written_lsn_ = lsn;
+    synced_lsn_ = lsn;
     generation_ = gen;
     tail_.clear();
   }
+
+  /// Discards file bytes beyond `lsn` (the pre-crash torn tail). Without
+  /// this, a complete stale frame stranded past the torn point can be
+  /// resurrected after the next crash once fresh appends of the same
+  /// generation close the byte gap in front of it. Metadata-only: no
+  /// device I/O.
+  Status TruncateTail(Lsn lsn);
 
   struct Stats {
     uint64_t appends = 0;
     uint64_t syncs = 0;
     uint64_t group_rides = 0;  ///< Commits that rode another commit's sync.
     uint64_t bytes_written = 0;
+    uint64_t pad_bytes = 0;    ///< Sector-padding overhead (kPad frames).
   };
   const Stats& stats() const { return stats_; }
 
@@ -109,10 +134,15 @@ class Wal {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  /// Appends a kPad frame filling the log to the next pad_to_bytes
+  /// boundary (no-op when already aligned or padding is disabled).
+  void PadToBoundary();
+
   SimFile* file_;
   Options opts_;
   Lsn next_lsn_ = 0;     ///< LSN of the next byte to be appended.
   Lsn written_lsn_ = 0;  ///< Everything below this is in the file.
+  Lsn synced_lsn_ = 0;   ///< Everything below this has been fsynced.
   Lsn last_checkpoint_lsn_ = 0;
   uint32_t generation_ = 1;
   /// Group-commit window: the device sync completing at `done` covers

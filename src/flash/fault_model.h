@@ -85,6 +85,15 @@ class FaultInjector {
     scripted_read_flips_[reads_seen_ + n] = bits;
   }
 
+  /// Drops every pending scripted fault point (rates are untouched). Lets a
+  /// test that scripted a fault storm — e.g. to exhaust the spare blocks —
+  /// return the media to health afterwards.
+  void ClearScripts() {
+    scripted_read_flips_.clear();
+    scripted_program_fails_.clear();
+    scripted_erase_fails_.clear();
+  }
+
   /// Deterministically flips `bits` bit positions in `page`. Used to
   /// materialize an uncorrectable read as actual corrupted bytes.
   void CorruptPage(std::string* page, uint32_t bits);

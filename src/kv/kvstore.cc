@@ -32,7 +32,49 @@ KvStore::KvStore(SimFileSystem* fs, SimFile* file, std::string name,
       name_(std::move(name)),
       opts_(options),
       h_commit_ns_(metrics_.GetHistogram("kv.commit_ns")),
-      h_fsync_ns_(metrics_.GetHistogram("kv.fsync_ns")) {}
+      h_fsync_ns_(metrics_.GetHistogram("kv.fsync_ns")),
+      c_degraded_aborts_(metrics_.Counter("kv.degraded_aborts")) {}
+
+void KvStore::NoteCommitted() {
+  committed_root_ = root_;
+  committed_seq_ = seq_;
+  committed_doc_count_ = doc_count_;
+  committed_live_bytes_ = live_bytes_;
+  committed_boundary_ = tail_base_;
+}
+
+void KvStore::RestoreCommitted() {
+  root_ = committed_root_;
+  seq_ = committed_seq_;
+  doc_count_ = committed_doc_count_;
+  live_bytes_ = committed_live_bytes_;
+  tail_base_ = committed_boundary_;
+  append_offset_ = committed_boundary_;
+  tail_.clear();
+  updates_since_commit_ = 0;
+  // Cached nodes at or past the boundary describe the discarded tail.
+  node_cache_.erase(node_cache_.lower_bound(committed_boundary_),
+                    node_cache_.end());
+}
+
+Status KvStore::ReadOnlyError() const {
+  return Status::ResourceExhausted("kvstore is read-only: " +
+                                   degraded_reason_);
+}
+
+void KvStore::EnterReadOnly(IoContext& io, const Status& cause) {
+  if (read_only_) return;
+  read_only_ = true;
+  degraded_reason_ = cause.message();
+  const uint64_t dropped = seq_ - committed_seq_;
+  RestoreCommitted();
+  stats_.degraded_aborts++;
+  ++*c_degraded_aborts_;
+  if (tracer_) {
+    tracer_->Record(io.now, TraceEventType::kTxnAbort, dropped,
+                    static_cast<uint64_t>(cause.code()));
+  }
+}
 
 StatusOr<std::unique_ptr<KvStore>> KvStore::Open(IoContext& io,
                                                  SimFileSystem* fs,
@@ -285,6 +327,7 @@ StatusOr<KvStore::NodeRef> KvStore::CowUpdate(IoContext& io, NodeRef root,
 // ---------------------------------------------------------------------------
 
 Status KvStore::Put(IoContext& io, Slice key, Slice value) {
+  if (read_only_) return ReadOnlyError();
   stats_.puts++;
   uint32_t doc_len = 0;
   const uint64_t doc_off = AppendDoc(key, value, &doc_len);
@@ -297,10 +340,16 @@ Status KvStore::Put(IoContext& io, Slice key, Slice value) {
   if (!found) doc_count_++;
   seq_++;
   updates_since_commit_++;
-  return MaybeCommit(io);
+  Status s = MaybeCommit(io);
+  if (s.IsResourceExhausted()) {
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
 }
 
 Status KvStore::Delete(IoContext& io, Slice key) {
+  if (read_only_) return ReadOnlyError();
   stats_.deletes++;
   bool found = false;
   StatusOr<NodeRef> new_root =
@@ -310,7 +359,12 @@ Status KvStore::Delete(IoContext& io, Slice key) {
   doc_count_--;
   seq_++;
   updates_since_commit_++;
-  return MaybeCommit(io);
+  Status s = MaybeCommit(io);
+  if (s.IsResourceExhausted()) {
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
 }
 
 Status KvStore::Get(IoContext& io, Slice key, std::string* value) {
@@ -384,15 +438,24 @@ Status KvStore::WriteHeader(IoContext& io) {
 
   tail_base_ = append_offset_;
   tail_.clear();
+  NoteCommitted();
   return Status::OK();
 }
 
 Status KvStore::Commit(IoContext& io) {
+  if (read_only_) return ReadOnlyError();
   if (updates_since_commit_ == 0 && tail_.empty()) return Status::OK();
   const SimTime entered = io.now;
   stats_.commits++;
   updates_since_commit_ = 0;
-  DURASSD_RETURN_IF_ERROR(WriteHeader(io));
+  {
+    Status s = WriteHeader(io);
+    if (s.IsResourceExhausted()) {
+      EnterReadOnly(io, s);
+      return ReadOnlyError();
+    }
+    DURASSD_RETURN_IF_ERROR(s);
+  }
   h_commit_ns_->Record(io.now - entered);
   if (tracer_) {
     tracer_->Record(io.now, TraceEventType::kKvCommit, seq_,
@@ -459,6 +522,7 @@ Status KvStore::Recover(IoContext& io) {
     // Drop anything beyond the recovered header so a later backward scan
     // cannot resurrect a stale newer-looking header.
     DURASSD_RETURN_IF_ERROR(file_->Truncate(append_offset_));
+    NoteCommitted();
     return Status::OK();
   }
   // No intact header: empty store.
@@ -468,10 +532,25 @@ Status KvStore::Recover(IoContext& io) {
   live_bytes_ = 0;
   append_offset_ = 0;
   tail_base_ = 0;
+  NoteCommitted();
   return Status::OK();
 }
 
 Status KvStore::Compact(IoContext& io) {
+  if (read_only_) return ReadOnlyError();
+  Status s = CompactImpl(io);
+  if (s.IsResourceExhausted()) {
+    // The original file still exists (the swap never happened): reopen it
+    // and fall back to the last committed state, read-only.
+    file_ = fs_->Open(name_);
+    node_cache_.clear();
+    EnterReadOnly(io, s);
+    return ReadOnlyError();
+  }
+  return s;
+}
+
+Status KvStore::CompactImpl(IoContext& io) {
   stats_.compactions++;
   // Walk the tree collecting live documents in key order.
   std::vector<std::pair<std::string, std::string>> docs;

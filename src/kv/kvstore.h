@@ -48,6 +48,8 @@ class KvStore {
     uint64_t compactions = 0;
     uint64_t recovered_seq = 0;
     uint64_t lost_updates_on_recovery = 0;
+    uint64_t degraded_aborts = 0;  ///< In-flight batches dropped on device
+                                   ///< degradation.
   };
 
   static StatusOr<std::unique_ptr<KvStore>> Open(IoContext& io,
@@ -67,6 +69,11 @@ class KvStore {
 
   /// Copies live documents into a fresh file and swaps it in.
   Status Compact(IoContext& io);
+
+  /// True once the store switched to read-only because the device entered
+  /// degraded mode. The in-flight (uncommitted) batch was rolled back to
+  /// the last durable header; reads keep working.
+  bool read_only() const { return read_only_; }
 
   uint64_t doc_count() const { return doc_count_; }
   uint64_t file_bytes() const { return append_offset_; }
@@ -128,6 +135,14 @@ class KvStore {
 
   Status WriteHeader(IoContext& io);
   Status MaybeCommit(IoContext& io);
+  Status CompactImpl(IoContext& io);
+  /// Remembers the current (durable) state as the rollback target for
+  /// degraded-mode aborts.
+  void NoteCommitted();
+  /// Rolls tree/tail state back to the last durable header.
+  void RestoreCommitted();
+  void EnterReadOnly(IoContext& io, const Status& cause);
+  Status ReadOnlyError() const;
 
   SimFileSystem* fs_;
   SimFile* file_;
@@ -146,6 +161,15 @@ class KvStore {
   /// Immutable node cache (COW nodes never change once written).
   std::map<uint64_t, Node> node_cache_;
 
+  bool read_only_ = false;
+  std::string degraded_reason_;
+  /// State at the last durable header (the degraded-abort rollback target).
+  NodeRef committed_root_;
+  uint64_t committed_seq_ = 0;
+  uint64_t committed_doc_count_ = 0;
+  uint64_t committed_live_bytes_ = 0;
+  uint64_t committed_boundary_ = 0;  ///< File offset just past that header.
+
   Stats stats_;
 
   MetricsRegistry metrics_;
@@ -153,6 +177,7 @@ class KvStore {
   /// Registered in the constructor (always non-null).
   Histogram* h_commit_ns_;
   Histogram* h_fsync_ns_;
+  uint64_t* c_degraded_aborts_;
 };
 
 }  // namespace durassd

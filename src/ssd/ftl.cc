@@ -13,6 +13,7 @@ Ftl::Ftl(FlashArray* flash, Options options)
     h_gc_relocation_ns_ = opts_.metrics->GetHistogram("ftl.gc_relocation_ns");
     c_ecc_retries_ = opts_.metrics->Counter("ftl.ecc_retries");
     c_gc_runs_ = opts_.metrics->Counter("ftl.gc_runs");
+    c_degraded_entries_ = opts_.metrics->Counter("ftl.degraded_entries");
   }
   const FlashGeometry& g = flash_->geometry();
   assert(g.page_size % opts_.sector_size == 0);
@@ -147,13 +148,29 @@ void Ftl::DrainRetirements(SimTime now) {
     retire_pending_.pop_back();
     Status st = RelocateLiveSectors(now, plane, block);
     if (!st.ok()) {
-      // Could not move the live data out (e.g. out of space). Leave the
-      // block pending: it is excluded from allocation and GC, its pages
-      // stay readable, and retirement is retried on the next program.
+      // Could not move the live data out. Leave the block pending: it is
+      // excluded from allocation and GC, and its pages stay readable.
       retire_pending_.emplace_back(plane, block);
+      if (st.IsOutOfSpace()) {
+        // No healthy destination exists for the live data, and none will
+        // appear — the device can no longer guarantee writes.
+        EnterDegraded(now, plane,
+                      "retirement relocation failed: " + st.message());
+      }
       return;
     }
     flash_->RetireBlock(plane, block);
+  }
+}
+
+void Ftl::EnterDegraded(SimTime now, uint32_t plane, std::string reason) {
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_reason_ = std::move(reason);
+  if (c_degraded_entries_ != nullptr) ++*c_degraded_entries_;
+  if (tracer_ != nullptr) {
+    tracer_->Record(now, TraceEventType::kDegraded, plane,
+                    flash_->stats().bad_blocks);
   }
 }
 
@@ -190,6 +207,11 @@ Status Ftl::ProgramSectors(SimTime now,
   if (sectors.empty() || sectors.size() > sectors_per_page_) {
     return Status::InvalidArgument("bad sector count for one program");
   }
+  if (degraded_) {
+    stats_.degraded_rejects++;
+    return Status::ResourceExhausted("device is read-only: " +
+                                     degraded_reason_);
+  }
   const bool have_data = sectors[0].data != nullptr;
   for (const SectorWrite& s : sectors) {
     if (s.lpn >= logical_sectors_) {
@@ -217,7 +239,21 @@ Status Ftl::ProgramSectors(SimTime now,
   StatusOr<Ppn> ppn_or =
       AllocateAndProgram(now, plane_idx, /*for_gc=*/false, page_data,
                          &prog_done);
-  if (!ppn_or.ok()) return ppn_or.status();
+  if (!ppn_or.ok()) {
+    const Status& st = ppn_or.status();
+    if (st.IsOutOfSpace()) {
+      // Spare exhaustion: no erased block exists and GC found nothing to
+      // reclaim — a permanent condition, so enter read-only degraded mode.
+      // (A plain IoError — program retries exhausted — stays transient:
+      // the failed block is already queued for retirement and a host retry
+      // lands on fresh flash.) Existing data is intact and readable.
+      EnterDegraded(now, plane_idx, st.message());
+      stats_.degraded_rejects++;
+      return Status::ResourceExhausted("device is read-only: " +
+                                       st.message());
+    }
+    return st;
+  }
   const Ppn ppn = *ppn_or;
   stats_.host_programs++;
   if (h_program_ns_ != nullptr) h_program_ns_->Record(prog_done - now);

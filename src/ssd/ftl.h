@@ -63,6 +63,8 @@ class Ftl {
     uint64_t read_retries = 0;        ///< Re-reads past the ECC budget.
     uint64_t uncorrectable_reads = 0; ///< Reads lost despite retries.
     uint64_t program_retries = 0;     ///< Programs retried on a fresh page.
+    uint64_t degraded_rejects = 0;    ///< Host programs rejected while
+                                      ///< degraded.
   };
 
   Ftl(FlashArray* flash, Options options);
@@ -127,6 +129,14 @@ class Ftl {
   const Stats& stats() const { return stats_; }
   FlashArray* flash() { return flash_; }
 
+  // --- Degraded (read-only) mode ---
+  /// True once the FTL has run out of healthy blocks (spare exhaustion or a
+  /// retirement relocation that could not complete). Sticky: the physical
+  /// condition does not heal, so the flag survives power cycles. Host
+  /// programs are rejected with kResourceExhausted; reads keep working.
+  bool degraded() const { return degraded_; }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
   /// Attaches (or detaches, with nullptr) an event tracer for GC events.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
@@ -184,6 +194,9 @@ class Ftl {
   bool IsRetirePending(uint32_t plane, uint32_t block) const;
   void KillSlot(uint64_t packed);
   void RecordDelta(Lpn lpn, SimTime start, SimTime done);
+  /// Flips the sticky degraded flag (idempotent) and emits the trace event
+  /// and metrics counter for the transition.
+  void EnterDegraded(SimTime now, uint32_t plane, std::string reason);
   bool IsDumpBlock(uint32_t block) const {
     return block >= first_dump_block_;
   }
@@ -207,12 +220,16 @@ class Ftl {
   uint32_t rr_plane_ = 0;
   Stats stats_;
 
+  bool degraded_ = false;
+  std::string degraded_reason_;
+
   Tracer* tracer_ = nullptr;
   /// Registered metrics (null when no registry was supplied).
   Histogram* h_program_ns_ = nullptr;
   Histogram* h_gc_relocation_ns_ = nullptr;
   uint64_t* c_ecc_retries_ = nullptr;
   uint64_t* c_gc_runs_ = nullptr;
+  uint64_t* c_degraded_entries_ = nullptr;
   /// Completion time / sector count of the latest RelocateLiveSectors,
   /// consumed by RunGc for the gc_relocation_ns sample.
   SimTime last_relocation_done_ = 0;

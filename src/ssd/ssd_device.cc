@@ -34,7 +34,46 @@ SsdDevice::SsdDevice(SsdConfig config)
       h_fw_ns_(metrics_.GetHistogram("ssd.fw_ns")),
       h_frame_stall_ns_(metrics_.GetHistogram("ssd.frame_stall_ns")),
       h_destage_ns_(metrics_.GetHistogram("ssd.destage_ns")),
-      h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")) {}
+      h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")),
+      c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")) {}
+
+bool SsdDevice::MaybeTripScheduledCut(SimTime now) {
+  if (!cut_armed_ || now < scheduled_cut_) return false;
+  cut_armed_ = false;
+  stats_.scheduled_cuts_tripped++;
+  PowerCut(scheduled_cut_);
+  return true;
+}
+
+bool SsdDevice::CutBeforeCompletion(SimTime done) {
+  if (!cut_armed_ || done <= scheduled_cut_) return false;
+  cut_armed_ = false;
+  stats_.scheduled_cuts_tripped++;
+  PowerCut(scheduled_cut_);
+  return true;
+}
+
+void SsdDevice::RollbackCommandEntries(Lpn lpn, uint32_t nsec, SimTime ack) {
+  for (uint32_t i = 0; i < nsec; ++i) {
+    auto it = cache_.find(lpn + i);
+    if (it == cache_.end() || it->second.ack != ack) continue;
+    CacheEntry& e = it->second;
+    if (e.program_done != kNeverProgrammed) continue;  // Already destaged.
+    if (has_pending_half_ && pending_half_lpn_ == lpn + i) {
+      has_pending_half_ = false;
+      pending_half_lpn_ = kInvalidLpn;
+    }
+    if (e.has_prev) {
+      e.data = std::move(e.prev_data);
+      e.ack = e.prev_ack;
+      e.has_prev = false;
+      e.program_start = 0;
+      e.program_done = kNeverProgrammed;
+    } else {
+      cache_.erase(it);
+    }
+  }
+}
 
 SimTime SsdDevice::BusTime(uint32_t nsec, bool is_write) const {
   const double rate =
@@ -129,7 +168,17 @@ Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
 }
 
 BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
+  if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
+  if (ftl_.degraded()) {
+    // Sticky read-only mode: refuse before touching the cache so nothing
+    // from this command can be dumped or replayed later.
+    stats_.degraded_write_rejects++;
+    ++*c_degraded_rejects_;
+    return {Status::ResourceExhausted("device is read-only: " +
+                                      ftl_.degraded_reason()),
+            now};
+  }
   if (data.empty() || data.size() % cfg_.sector_size != 0) {
     return {Status::InvalidArgument("write size not sector-aligned"), now};
   }
@@ -173,6 +222,7 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
     }
     const SimTime ack =
         last_done + MappingPersistCost(ftl_.dirty_mapping_entries());
+    if (CutBeforeCompletion(ack)) return {Status::DeviceOffline(), now};
     ftl_.PersistMapping();
     max_time_seen_ = std::max(max_time_seen_, ack);
     // Counted here, not at entry: a failed program above must not inflate
@@ -206,7 +256,13 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
     group.push_back(cur);
     if (group.size() == ftl_.sectors_per_page()) {
       Status s = DestageGroup(ack, group);
-      if (!s.ok()) return {s, now};
+      if (!s.ok()) {
+        // The command is rejected as a whole: un-insert its cache entries so
+        // a later power cut cannot dump (and replay) data the host was told
+        // failed.
+        RollbackCommandEntries(lpn, nsec, ack);
+        return {s, now};
+      }
       group.clear();
     }
   }
@@ -218,13 +274,19 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
       has_pending_half_ = false;
       pending_half_lpn_ = kInvalidLpn;
       Status s = DestageGroup(ack, group);
-      if (!s.ok()) return {s, now};
+      if (!s.ok()) {
+        RollbackCommandEntries(lpn, nsec, ack);
+        return {s, now};
+      }
     } else if (ftl_.sectors_per_page() > 1) {
       has_pending_half_ = true;
       pending_half_lpn_ = group[0];
     } else {
       Status s = DestageGroup(ack, group);
-      if (!s.ok()) return {s, now};
+      if (!s.ok()) {
+        RollbackCommandEntries(lpn, nsec, ack);
+        return {s, now};
+      }
     }
   }
 
@@ -233,6 +295,7 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
     ftl_.PersistMapping();
   }
 
+  if (CutBeforeCompletion(ack)) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, ack);
   stats_.host_writes++;
   stats_.host_written_sectors += nsec;
@@ -242,6 +305,7 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
 
 BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
                                     std::string* out) {
+  if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
   if (nsec == 0 || lpn + nsec > num_sectors()) {
     return {Status::InvalidArgument("read beyond device capacity"), now};
@@ -304,6 +368,7 @@ BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
   const ResourceTimeline::Grant bus =
       bus_.Acquire(media_done, BusTime(nsec, false));
   h_bus_ns_->Record(bus.done - bus.start);
+  if (CutBeforeCompletion(bus.done)) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, bus.done);
   if (tracer_) tracer_->Record(bus.done, TraceEventType::kReadDone, lpn, nsec);
   // An uncorrectable sector is still transferred (with its damage) so the
@@ -320,13 +385,16 @@ SimTime SsdDevice::MappingPersistCost(size_t entries) const {
 }
 
 BlockDevice::Result SsdDevice::Flush(SimTime now) {
+  if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, now);
   stats_.flushes++;
 
   if (!cfg_.cache_enabled) {
     // Write-through device: nothing cached, mapping persisted per write.
-    return {Status::OK(), now + cfg_.bus_cmd_overhead + kFlushEmptyOverhead};
+    const SimTime done = now + cfg_.bus_cmd_overhead + kFlushEmptyOverhead;
+    if (CutBeforeCompletion(done)) return {Status::DeviceOffline(), now};
+    return {Status::OK(), done};
   }
 
   if (cfg_.durable_cache &&
@@ -335,7 +403,9 @@ BlockDevice::Result SsdDevice::Flush(SimTime now) {
     // durable, so the flush only asserts ordering. All commands that
     // arrived before it are acknowledged by construction (synchronous
     // acks), so the command completes at queue-processing cost.
-    return {Status::OK(), now + cfg_.bus_cmd_overhead + 25 * kMicrosecond};
+    const SimTime done = now + cfg_.bus_cmd_overhead + 25 * kMicrosecond;
+    if (CutBeforeCompletion(done)) return {Status::DeviceOffline(), now};
+    return {Status::OK(), done};
   }
 
   if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0) {
@@ -353,6 +423,9 @@ BlockDevice::Result SsdDevice::Flush(SimTime now) {
   // acknowledged before that start time is covered by it. This is where
   // group commit materializes at the device level.
   if (last_flush_start_ >= now) {
+    if (CutBeforeCompletion(last_flush_done_)) {
+      return {Status::DeviceOffline(), now};
+    }
     return {Status::OK(), last_flush_done_};
   }
   const SimTime start = std::max(now, last_flush_done_);
@@ -384,6 +457,10 @@ BlockDevice::Result SsdDevice::Flush(SimTime now) {
   last_flush_done_ = done;
   flush_windows_.emplace_back(start, done);
   if (flush_windows_.size() > 64) flush_windows_.pop_front();
+  // After the window bookkeeping on purpose: if the armed cut lands inside
+  // this flush, PowerCut must see the flush as in progress (torn-write
+  // exposure on volatile devices).
+  if (CutBeforeCompletion(done)) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, done);
   return {Status::OK(), done};
 }
@@ -466,6 +543,7 @@ void SsdDevice::DumpOnCapacitor(SimTime t) {
 
 void SsdDevice::PowerCut(SimTime t) {
   if (!powered_) return;
+  cut_armed_ = false;
   powered_ = false;
   emergency_shutdown_ = true;
   if (tracer_) {

@@ -55,6 +55,9 @@ class SsdDevice : public BlockDevice {
     uint64_t dropped_incomplete = 0; ///< Un-acked commands discarded whole.
     uint64_t capacitor_overruns = 0; ///< Dump exceeded the budget (bug).
     uint64_t reads_stalled_by_flush = 0;  ///< Reads behind FLUSH CACHE.
+    uint64_t degraded_write_rejects = 0;  ///< Writes refused in degraded
+                                          ///< (read-only) mode.
+    uint64_t scheduled_cuts_tripped = 0;  ///< SchedulePowerCut firings.
   };
 
   /// Device-level view of NAND fault handling, aggregated from the FTL
@@ -88,6 +91,24 @@ class SsdDevice : public BlockDevice {
 
   /// Clean shutdown: FLUSH CACHE then power down without the emergency flag.
   Status Shutdown(SimTime now);
+
+  /// Arms a power cut at virtual time `t`: the first command issued at
+  /// now >= t first executes PowerCut(t) and then fails with DeviceOffline.
+  /// This is how the crash harness cuts power mid-engine-call (including
+  /// mid-recovery): the cut takes effect *inside* the engine's sequence of
+  /// device operations rather than between host-visible steps. One-shot;
+  /// a manual PowerCut() disarms it.
+  void SchedulePowerCut(SimTime t) {
+    scheduled_cut_ = t;
+    cut_armed_ = true;
+  }
+  void CancelScheduledPowerCut() { cut_armed_ = false; }
+  bool scheduled_cut_armed() const { return cut_armed_; }
+
+  /// True once the FTL has entered sticky read-only degraded mode (spare
+  /// exhaustion / failed retirement relocation). Writes fail with
+  /// kResourceExhausted; reads keep working across power cycles.
+  bool degraded() const { return ftl_.degraded(); }
 
   bool powered() const { return powered_; }
   const SsdConfig& config() const { return cfg_; }
@@ -150,6 +171,22 @@ class SsdDevice : public BlockDevice {
   SimTime MappingPersistCost(size_t entries) const;
   void DumpOnCapacitor(SimTime t);
   SimTime ReplayDump();
+  /// Fires an armed SchedulePowerCut whose time has arrived. Returns true
+  /// when the cut tripped (the caller must fail with DeviceOffline).
+  bool MaybeTripScheduledCut(SimTime now);
+  /// Causality guard for armed cuts: a command that would only COMPLETE
+  /// after the scheduled instant must not be acknowledged — the power died
+  /// mid-command. Fires the cut (rolling media state back to the cut time;
+  /// the command's already-applied effects carry post-cut timestamps, which
+  /// is exactly what PowerCut's rollback machinery reverts) and returns
+  /// true, in which case the caller must fail with DeviceOffline. Without
+  /// this, a flush spanning the cut instant would be acknowledged and then
+  /// silently undone — an acked-durability violation the host can observe.
+  bool CutBeforeCompletion(SimTime done);
+  /// Removes the cache entries a failed write command inserted (restoring
+  /// the one-deep history), so un-destaged data from a rejected command
+  /// cannot be dumped or served later.
+  void RollbackCommandEntries(Lpn lpn, uint32_t nsec, SimTime ack);
 
   SsdConfig cfg_;
   /// Declared before ftl_ (construction order): the FTL registers its own
@@ -173,6 +210,8 @@ class SsdDevice : public BlockDevice {
 
   bool powered_ = true;
   bool emergency_shutdown_ = false;
+  bool cut_armed_ = false;
+  SimTime scheduled_cut_ = 0;
   SimTime max_time_seen_ = 0;
   SimTime last_flush_start_ = -1;
   SimTime last_flush_done_ = -1;
@@ -192,6 +231,7 @@ class SsdDevice : public BlockDevice {
   Histogram* h_frame_stall_ns_;
   Histogram* h_destage_ns_;
   Histogram* h_flush_drain_ns_;
+  uint64_t* c_degraded_rejects_;
 };
 
 }  // namespace durassd

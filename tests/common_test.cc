@@ -38,6 +38,21 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::Busy().IsBusy());
   EXPECT_TRUE(Status::Aborted().IsAborted());
   EXPECT_TRUE(Status::DataLoss().IsDataLoss());
+  EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
+}
+
+TEST(StatusTest, ResourceExhaustedIsItsOwnCode) {
+  // Distinct from kOutOfSpace: OutOfSpace is a transient allocation failure
+  // (GC may reclaim space); ResourceExhausted is the permanent read-only
+  // degraded condition.
+  const Status re = Status::ResourceExhausted("spares gone");
+  EXPECT_FALSE(re.ok());
+  EXPECT_TRUE(re.IsResourceExhausted());
+  EXPECT_FALSE(re.IsOutOfSpace());
+  EXPECT_FALSE(Status::OutOfSpace().IsResourceExhausted());
+  EXPECT_EQ(re.ToString(), "ResourceExhausted: spares gone");
+  EXPECT_EQ(Status::ResourceExhausted().ToString(),
+            "ResourceExhausted: resource exhausted");
 }
 
 TEST(StatusOrTest, HoldsValueOrStatus) {

@@ -1,0 +1,241 @@
+// Crash-consistency torture sweeps: the CrashHarness oracle across the
+// configuration matrix (durable vs volatile cache x barriers x double-write
+// x engine), fsync-mode sweeps, nested cuts during recovery, and cuts with
+// NAND fault injection live.
+//
+// ctest runs every TEST in its own process, so coverage arithmetic cannot
+// rely on cross-test state: the sweep lists below are file-scope constants
+// shared by the sweep tests AND the pure-arithmetic coverage test, which
+// asserts the acceptance floor of >= 200 (seed x cut x config) combos.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+
+#include "sim/crash_harness.h"
+
+namespace durassd {
+namespace {
+
+using Engine = CrashHarness::Engine;
+
+// --------------------------- Shared sweep lists ----------------------------
+
+constexpr uint64_t kSeeds[] = {1, 7, 13};
+constexpr double kCuts[] = {0.15, 0.35, 0.55, 0.8};
+
+struct DbConfig {
+  bool durable;
+  bool barriers;
+  bool dwb;
+};
+constexpr DbConfig kDbConfigs[] = {
+    {true, true, true},   {true, true, false},  {true, false, true},
+    {true, false, false}, {false, true, true},  {false, true, false},
+    {false, false, true}, {false, false, false},
+};
+
+struct KvConfig {
+  bool durable;
+  bool barriers;
+  uint32_t batch;
+};
+constexpr KvConfig kKvConfigs[] = {
+    {true, true, 1},  {true, true, 8},  {true, false, 1},  {true, false, 8},
+    {false, true, 1}, {false, true, 8}, {false, false, 1}, {false, false, 8},
+};
+
+constexpr uint64_t kSyncSeeds[] = {3, 9};
+constexpr double kSyncCuts[] = {0.2, 0.5, 0.85};
+
+constexpr double kNestedCuts[] = {0.3, 0.7};   // x2 engines x durable/volatile
+constexpr uint64_t kFaultSeeds[] = {5, 11, 17};  // x2 engines
+
+constexpr size_t kDbMatrixCombos =
+    std::size(kDbConfigs) * std::size(kSeeds) * std::size(kCuts);
+constexpr size_t kKvMatrixCombos =
+    std::size(kKvConfigs) * std::size(kSeeds) * std::size(kCuts);
+constexpr size_t kSyncModeCombos =
+    2 * std::size(kSyncSeeds) * std::size(kSyncCuts);  // durable x volatile
+constexpr size_t kNestedCombos = 2 * 2 * std::size(kNestedCuts);
+constexpr size_t kFaultCombos = 2 * std::size(kFaultSeeds);
+
+TEST(CrashHarnessCoverage, SweepsAtLeastTwoHundredCombos) {
+  constexpr size_t total = kDbMatrixCombos + kKvMatrixCombos +
+                           kSyncModeCombos + kNestedCombos + kFaultCombos;
+  static_assert(total >= 200, "torture coverage shrank below the floor");
+  EXPECT_GE(total, 200u) << "db=" << kDbMatrixCombos
+                         << " kv=" << kKvMatrixCombos
+                         << " sync=" << kSyncModeCombos
+                         << " nested=" << kNestedCombos
+                         << " fault=" << kFaultCombos;
+}
+
+// --------------------------- Helpers ---------------------------------------
+
+CrashHarness::Options Quick() {
+  CrashHarness::Options o;
+  o.ops = 48;
+  o.keyspace = 32;
+  return o;
+}
+
+void ExpectClean(const CrashHarness::Options& o) {
+  const CrashHarness::Report rep = CrashHarness::Run(o);
+  std::string all;
+  for (const std::string& v : rep.violations) all += "\n  " + v;
+  EXPECT_TRUE(rep.ok) << o.ToString() << all;
+}
+
+// --------------------------- Database matrix -------------------------------
+
+class DbMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbMatrix, SurvivesRandomizedCuts) {
+  const DbConfig& c = kDbConfigs[GetParam()];
+  for (uint64_t seed : kSeeds) {
+    for (double cut : kCuts) {
+      CrashHarness::Options o = Quick();
+      o.engine = Engine::kDatabase;
+      o.durable_cache = c.durable;
+      o.write_barriers = c.barriers;
+      o.double_write = c.dwb;
+      o.seed = seed;
+      o.cut_fraction = cut;
+      ExpectClean(o);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, DbMatrix,
+                         ::testing::Range(0, static_cast<int>(
+                                                 std::size(kDbConfigs))));
+
+// --------------------------- KvStore matrix --------------------------------
+
+class KvMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(KvMatrix, SurvivesRandomizedCuts) {
+  const KvConfig& c = kKvConfigs[GetParam()];
+  for (uint64_t seed : kSeeds) {
+    for (double cut : kCuts) {
+      CrashHarness::Options o = Quick();
+      o.engine = Engine::kKvStore;
+      o.durable_cache = c.durable;
+      o.write_barriers = c.barriers;
+      o.kv_batch_size = c.batch;
+      o.seed = seed;
+      o.cut_fraction = cut;
+      ExpectClean(o);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, KvMatrix,
+                         ::testing::Range(0, static_cast<int>(
+                                                 std::size(kKvConfigs))));
+
+// --------------------------- fsync-mode sweep ------------------------------
+
+// Commercial-RDBMS O_DSYNC mode (Sec. 4.3.2): fsync after every page write.
+TEST(DbSyncModeSweep, SyncEveryPageWriteSurvivesCuts) {
+  for (bool durable : {true, false}) {
+    for (uint64_t seed : kSyncSeeds) {
+      for (double cut : kSyncCuts) {
+        CrashHarness::Options o = Quick();
+        o.engine = Engine::kDatabase;
+        o.durable_cache = durable;
+        o.write_barriers = true;
+        o.double_write = true;
+        o.sync_every_page_write = true;
+        o.seed = seed;
+        o.cut_fraction = cut;
+        ExpectClean(o);
+      }
+    }
+  }
+}
+
+// --------------------------- Nested cuts -----------------------------------
+
+// A second power cut lands in the middle of recovering from the first.
+TEST(NestedCutSweep, RecoveryItselfIsCrashSafe) {
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    for (bool durable : {true, false}) {
+      for (double cut : kNestedCuts) {
+        CrashHarness::Options o = Quick();
+        o.engine = engine;
+        o.durable_cache = durable;
+        o.write_barriers = true;
+        o.double_write = true;
+        o.kv_batch_size = 4;
+        o.seed = 21;
+        o.cut_fraction = cut;
+        o.nested_cut = true;
+        ExpectClean(o);
+      }
+    }
+  }
+}
+
+// --------------------------- Fault injection -------------------------------
+
+// Power cuts with the NAND fault model live: bit errors within the ECC
+// budget plus occasional program/erase failures. Invariants are unchanged —
+// the device must absorb the faults.
+TEST(FaultInjectionSweep, CutsUnderNandFaults) {
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    for (uint64_t seed : kFaultSeeds) {
+      CrashHarness::Options o = Quick();
+      o.engine = engine;
+      o.durable_cache = true;
+      o.write_barriers = true;
+      o.double_write = true;
+      o.kv_batch_size = 4;
+      o.seed = seed;
+      o.cut_fraction = 0.45;
+      o.inject_faults = true;
+      ExpectClean(o);
+    }
+  }
+}
+
+// --------------------------- Report plumbing -------------------------------
+
+TEST(CrashHarnessReport, IsDeterministicAndSelfDescribing) {
+  CrashHarness::Options o = Quick();
+  o.engine = Engine::kDatabase;
+  o.seed = 42;
+  o.cut_fraction = 0.5;
+  const CrashHarness::Report a = CrashHarness::Run(o);
+  const CrashHarness::Report b = CrashHarness::Run(o);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.cuts, b.cuts);
+  EXPECT_EQ(a.recovery_attempts, b.recovery_attempts);
+  EXPECT_EQ(a.commits_acked, b.commits_acked);
+  EXPECT_EQ(a.snapshot_matched, b.snapshot_matched);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_GE(a.cuts, 1);
+  // The reproducer string names every knob.
+  const std::string repro = o.ToString();
+  EXPECT_NE(repro.find("seed=42"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("cut_fraction="), std::string::npos) << repro;
+}
+
+TEST(CrashHarnessReport, RecordsViolationsInAttachedTracer) {
+  // A healthy run records no kInvariantViolation events.
+  Tracer tracer;
+  CrashHarness::Options o = Quick();
+  o.engine = Engine::kKvStore;
+  o.seed = 4;
+  o.cut_fraction = 0.6;
+  o.tracer = &tracer;
+  const CrashHarness::Report rep = CrashHarness::Run(o);
+  EXPECT_TRUE(rep.ok);
+  for (const TraceEvent& e : tracer.Events()) {
+    EXPECT_NE(e.type, TraceEventType::kInvariantViolation);
+  }
+}
+
+}  // namespace
+}  // namespace durassd

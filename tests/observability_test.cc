@@ -17,6 +17,9 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/trace.h"
+#include "db/database.h"
+#include "host/sim_file.h"
+#include "kv/kvstore.h"
 #include "ssd/ssd_config.h"
 #include "ssd/ssd_device.h"
 #include "workloads/fiosim.h"
@@ -332,6 +335,44 @@ TEST(TracerTest, JsonlExportOneValidObjectPerLine) {
             TraceEventTypeName(TraceEventType::kFlushStart));
   EXPECT_DOUBLE_EQ(parsed[0].Find("t")->AsDouble(), 100.0);
   EXPECT_DOUBLE_EQ(parsed[1].Find("a0")->AsDouble(), 150.0);
+}
+
+TEST(TracerTest, DegradedModeEventNamesAreStable) {
+  // The trace schema is an external contract (JSONL consumers key on these
+  // strings): the degraded-mode events must keep their names.
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kDegraded), "degraded");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kTxnAbort), "txn_abort");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kInvariantViolation),
+               "invariant_violation");
+}
+
+TEST(MetricsRegistryTest, DegradedModeCountersRegisteredUpFront) {
+  // Device side: both counters exist (at zero) from construction, so a
+  // metrics scrape sees the schema before anything degrades.
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  cfg.geometry.blocks_per_plane = 128;  // Room for the default DB layout.
+  cfg.geometry.pages_per_block = 32;
+  SsdDevice dev(cfg);
+  const auto& c = dev.metrics().counters();
+  ASSERT_NE(c.find("ftl.degraded_entries"), c.end());
+  ASSERT_NE(c.find("ssd.degraded_rejects"), c.end());
+  EXPECT_EQ(c.at("ftl.degraded_entries"), 0u);
+  EXPECT_EQ(c.at("ssd.degraded_rejects"), 0u);
+
+  // Engine side, same contract.
+  SimFileSystem fs(&dev, SimFileSystem::Options{});
+  IoContext io;
+  auto db = Database::Open(io, &fs, &fs, Database::Options{});
+  ASSERT_TRUE(db.ok());
+  const auto& dc = (*db)->metrics().counters();
+  ASSERT_NE(dc.find("db.degraded_aborts"), dc.end());
+  EXPECT_EQ(dc.at("db.degraded_aborts"), 0u);
+
+  auto kv = KvStore::Open(io, &fs, "obs.couch", KvStore::Options{});
+  ASSERT_TRUE(kv.ok());
+  const auto& kc = (*kv)->metrics().counters();
+  ASSERT_NE(kc.find("kv.degraded_aborts"), kc.end());
+  EXPECT_EQ(kc.at("kv.degraded_aborts"), 0u);
 }
 
 TEST(TracerTest, DeviceEmitsCmdAndFlushEvents) {

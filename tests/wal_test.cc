@@ -118,6 +118,64 @@ TEST_F(WalTest, GenerationFiltersStaleFrames) {
   EXPECT_EQ(records[0].key, "new-gen");
 }
 
+TEST_F(WalTest, TruncateTailPreventsStaleFrameResurrection) {
+  IoContext io;
+  // Padding off: the scenario below needs byte-exact frame alignment, and
+  // the resurrection hazard it guards against is independent of sector
+  // sealing (the hole is torn *between* surviving frames of one sync).
+  Wal wal(fs_->Open("wal2.log"), Wal::Options{64 * kMiB, nullptr, 0});
+  Wal* w = &wal;
+  // Durable prefix: one 40-byte frame ("a"/"1": 12-byte header + 28
+  // payload... sizes asserted below, the alignment is the whole point).
+  w->Append(Put(1, "a", "1"));
+  ASSERT_TRUE(w->SyncTo(io, w->next_lsn()).ok());
+
+  // Two more frames reach the file; then a crash loses the FIRST of them
+  // while the second survives (the volatile-cache hole). Fake the hole by
+  // smashing the first frame's CRC in place.
+  const Lsn torn = w->Append(Put(2, "victim", "x"));
+  const Lsn stale = w->Append(Put(3, "stale", "y"));
+  ASSERT_TRUE(w->SyncTo(io, w->next_lsn()).ok());
+  SimFile* f = fs_->Open("wal2.log");
+  ASSERT_TRUE(f->Write(io.now, torn + 8, std::string(4, '\xFF')).status.ok());
+
+  // Recovery: replay stops at the torn frame.
+  std::vector<WalRecord> records;
+  Lsn resume = 0;
+  ASSERT_TRUE(w->ReadFrom(io, 0, w->generation(), &records, &resume).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "a");
+  ASSERT_EQ(resume, torn);
+  w->ResumeAt(resume, w->generation());
+  ASSERT_TRUE(w->TruncateTail(resume).ok());
+
+  // New life appends a frame of EXACTLY the torn frame's size ("kk"/"zzzzz"
+  // matches "victim"/"x"), so without the truncation the read cursor would
+  // land precisely on the stranded intact frame and resurrect "stale".
+  const Lsn fresh = w->Append(Put(4, "kk", "zzzzz"));
+  ASSERT_TRUE(w->SyncTo(io, w->next_lsn()).ok());
+  ASSERT_EQ(w->next_lsn(), stale);  // The dangerous alignment holds.
+
+  std::vector<WalRecord> again;
+  ASSERT_TRUE(w->ReadFrom(io, 0, w->generation(), &again).ok());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].key, "a");
+  EXPECT_EQ(again[1].key, "kk");
+  EXPECT_EQ(again[1].lsn, fresh);
+}
+
+TEST_F(WalTest, TruncateTailIsANoOpAtOrPastEof) {
+  IoContext io;
+  wal_->Append(Put(1, "a", "1"));
+  ASSERT_TRUE(wal_->SyncTo(io, wal_->next_lsn()).ok());
+  SimFile* f = fs_->Open("wal.log");
+  const uint64_t size = f->size();
+  ASSERT_TRUE(wal_->TruncateTail(size).ok());
+  EXPECT_EQ(f->size(), size);
+  ASSERT_TRUE(wal_->TruncateTail(size + 100).ok());
+  EXPECT_EQ(f->size(), size);
+}
+
 TEST_F(WalTest, EnsureWrittenHonorsWalRule) {
   IoContext io;
   const Lsn lsn = wal_->Append(Put(1, "page-lsn", "v"));
@@ -183,6 +241,72 @@ TEST_F(WalTest, UnsyncedTailLostOnVolatileDevice) {
   IoContext io2;
   ASSERT_TRUE(reopened.ReadFrom(io2, 0, gen, &records).ok());
   EXPECT_TRUE(records.empty());  // The durability gap the paper closes.
+}
+
+TEST_F(WalTest, SyncPadsTailToSectorBoundary) {
+  IoContext io;
+  wal_->Append(Put(1, "a", "1"));
+  ASSERT_TRUE(wal_->SyncTo(io, wal_->next_lsn()).ok());
+  EXPECT_EQ(wal_->next_lsn() % 4096, 0u);
+  EXPECT_GT(wal_->stats().pad_bytes, 0u);
+
+  // Re-syncing with nothing new must not grow the log.
+  const Lsn sealed = wal_->next_lsn();
+  ASSERT_TRUE(wal_->SyncTo(io, wal_->next_lsn()).ok());
+  EXPECT_EQ(wal_->next_lsn(), sealed);
+
+  wal_->Append(Put(2, "b", "2"));
+  ASSERT_TRUE(wal_->SyncTo(io, wal_->next_lsn()).ok());
+
+  // Pads are consumed by the reader, never replayed; the resume point
+  // includes them.
+  std::vector<WalRecord> records;
+  Lsn end = 0;
+  ASSERT_TRUE(
+      wal_->ReadFrom(io, 0, wal_->generation(), &records, &end).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(end, wal_->next_lsn());
+}
+
+// The bug the crash harness found: an append does a read-modify-write of
+// the log's tail sector. Without sector sealing, a power cut shearing the
+// NAND program of that rewrite destroys previously FSYNCED commit frames
+// sharing the sector — acked durability lost on any volatile-cache device
+// that exposes torn writes. With padding, synced sectors are never
+// rewritten, so a torn later sync can only lose its own (unacked) frames.
+TEST_F(WalTest, SectorPaddingShieldsSyncedFramesFromTornRewrites) {
+  SsdConfig vc = Config();
+  vc.durable_cache = false;
+  vc.exposes_torn_writes = true;
+  SsdDevice vdev(vc);
+  SimFileSystem::Options fso;
+  fso.write_barriers = true;
+  SimFileSystem vfs(&vdev, fso);
+  Wal wal(vfs.Open("wal.log"), Wal::Options{});
+
+  IoContext io;
+  wal.Append(Put(1, "durable", "1"));
+  ASSERT_TRUE(wal.SyncTo(io, wal.next_lsn()).ok());
+  const uint32_t gen = wal.generation();
+
+  // A later append reaches the file, then power dies inside the fsync:
+  // the in-flight destage program is sheared (torn-write exposure). The
+  // sealed tail keeps the rewrite out of the synced frame's sector, so
+  // the shear can only take down the torn sync's own (unacked) frames.
+  wal.Append(Put(2, "torn", "2"));
+  ASSERT_TRUE(wal.WriteOut(io).ok());
+  vdev.SchedulePowerCut(io.now + 1);
+  EXPECT_FALSE(wal.SyncTo(io, wal.next_lsn()).ok());
+  vdev.PowerOn();
+
+  Wal reopened(vfs.Open("wal.log"), Wal::Options{});
+  std::vector<WalRecord> records;
+  IoContext io2;
+  ASSERT_TRUE(reopened.ReadFrom(io2, 0, gen, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "durable");
 }
 
 TEST_F(WalTest, ManyRecordsReadBackInOrder) {
