@@ -97,15 +97,22 @@ StatusOr<std::unique_ptr<Database>> Database::Open(IoContext& io,
       db->wal_file_,
       Wal::Options{options.checkpoint_log_bytes, &db->metrics_});
   if (options.double_write) {
-    db->dwb_ = std::make_unique<DoubleWriteBuffer>(
-        db->dwb_file_, db->data_file_,
-        DoubleWriteBuffer::Options{options.page_size, options.dwb_batch_pages,
-                                   &db->metrics_});
+    DoubleWriteBuffer::Options dwb_opts;
+    dwb_opts.page_size = options.page_size;
+    dwb_opts.batch_pages = options.dwb_batch_pages;
+    dwb_opts.home_write_depth = options.dwb_home_write_depth;
+    dwb_opts.metrics = &db->metrics_;
+    db->dwb_ = std::make_unique<DoubleWriteBuffer>(db->dwb_file_,
+                                                   db->data_file_, dwb_opts);
   }
-  db->pool_ = std::make_unique<BufferPool>(
-      db->data_file_, db->wal_.get(), db->dwb_.get(),
-      BufferPool::Options{options.pool_bytes, options.page_size,
-                          options.sync_every_page_write});
+  BufferPool::Options pool_opts;
+  pool_opts.pool_bytes = options.pool_bytes;
+  pool_opts.page_size = options.page_size;
+  pool_opts.sync_every_write = options.sync_every_page_write;
+  pool_opts.checkpoint_queue_depth = options.checkpoint_queue_depth;
+  db->pool_ = std::make_unique<BufferPool>(db->data_file_, db->wal_.get(),
+                                           db->dwb_.get(), pool_opts);
+  db->log_ordered_ = log_fs->device()->ordered_writes();
 
   if (existing) {
     DURASSD_RETURN_IF_ERROR(db->Recover(io));
@@ -550,8 +557,16 @@ Status Database::CheckpointImpl(IoContext& io) {
   }
   stats_.checkpoints++;
 
-  // Phase 1: make the log and all data pages durable.
-  DURASSD_RETURN_IF_ERROR(wal_->SyncTo(io, wal_->next_lsn()));
+  // Phase 1: make the log and all data pages durable. On an ordered
+  // durable queue (Sec. 3.3) every acknowledged log write is already
+  // durable in submission order, so writing the tail out suffices — the
+  // pre-destage fsync (and its sector-sealing pad) is elided.
+  if (log_ordered_) {
+    DURASSD_RETURN_IF_ERROR(wal_->EnsureWritten(io, wal_->next_lsn()));
+    stats_.ordered_wal_elisions++;
+  } else {
+    DURASSD_RETURN_IF_ERROR(wal_->SyncTo(io, wal_->next_lsn()));
+  }
   DURASSD_RETURN_IF_ERROR(pool_->FlushAll(io));
   const SimFile::IoResult r = data_file_->Sync(io.now);
   DURASSD_RETURN_IF_ERROR(r.status);

@@ -50,6 +50,12 @@ class Database : public PageAllocator {
     /// When true, every page write is followed by fsync — the commercial
     /// RDBMS's O_DSYNC behaviour in the TPC-C experiment (Sec. 4.3.2).
     bool sync_every_page_write = false;
+    /// Queue depth for checkpoint page destaging (direct-write path only);
+    /// <= 1 keeps the serial pre-async behavior.
+    uint32_t checkpoint_queue_depth = 1;
+    /// Queue depth for double-write home-location writes; 0 = issue all at
+    /// once and wait for the slowest (pre-async behavior).
+    uint32_t dwb_home_write_depth = 0;
   };
 
   struct Stats {
@@ -65,6 +71,11 @@ class Database : public PageAllocator {
     uint64_t torn_pages_repaired = 0;
     uint64_t degraded_aborts = 0;  ///< In-flight txns aborted on device
                                    ///< degradation.
+    /// Checkpoint WAL syncs downgraded to plain write-out because the log
+    /// device has an ordered durable queue (Sec. 3.3): every acknowledged
+    /// write is already durable and ordered, so the pre-destage FLUSH adds
+    /// nothing.
+    uint64_t ordered_wal_elisions = 0;
   };
 
   /// Opens (creating or recovering) a database. `data_fs` holds data +
@@ -190,6 +201,9 @@ class Database : public PageAllocator {
   TxnId next_txn_ = 1;
   ActiveTxn active_;
   bool in_recovery_ = false;
+  /// True when the WAL device guarantees ordered durable acknowledgment
+  /// (BlockDevice::ordered_writes); enables the checkpoint sync elision.
+  bool log_ordered_ = false;
   bool read_only_ = false;
   /// Set when the in-memory rollback on degradation could not complete:
   /// the cached state is no longer trustworthy, so reads fail too.

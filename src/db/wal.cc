@@ -1,5 +1,7 @@
 #include "db/wal.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "common/crc32c.h"
 
@@ -43,6 +45,7 @@ bool WalRecord::Decode(Slice payload, WalRecord* out) {
 Wal::Wal(SimFile* file, Options options) : file_(file), opts_(options) {
   if (opts_.metrics != nullptr) {
     h_sync_ns_ = opts_.metrics->GetHistogram("wal.sync_ns");
+    h_group_size_ = opts_.metrics->GetHistogram("wal.group_commit_size");
     c_appends_ = opts_.metrics->Counter("wal.appends");
     c_group_rides_ = opts_.metrics->Counter("wal.group_rides");
   }
@@ -97,6 +100,20 @@ void Wal::PadToBoundary() {
   stats_.pad_bytes += gap;
 }
 
+void Wal::NoteCommitDurable(SimTime done) {
+  if (done == last_sync_done_) {
+    cur_group_++;
+  } else {
+    if (cur_group_ > 0 && h_group_size_ != nullptr) {
+      h_group_size_->Record(static_cast<int64_t>(cur_group_));
+    }
+    cur_group_ = 1;
+    stats_.sync_groups++;
+    last_sync_done_ = done;
+  }
+  stats_.max_group_commit = std::max(stats_.max_group_commit, cur_group_);
+}
+
 Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   const SimTime entered = io.now;
   // Group commit: if a device flush already in flight covers this LSN,
@@ -104,6 +121,7 @@ Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   if (lsn < pending_sync_lsn_ && io.now < pending_sync_done_) {
     io.AdvanceTo(pending_sync_done_);
     stats_.group_rides++;
+    NoteCommitDurable(pending_sync_done_);
     if (c_group_rides_) ++*c_group_rides_;
     if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
     return Status::OK();
@@ -122,6 +140,7 @@ Status Wal::SyncTo(IoContext& io, Lsn lsn) {
   synced_lsn_ = written_lsn_;
   io.AdvanceTo(r.done);
   stats_.syncs++;
+  NoteCommitDurable(r.done);
   if (h_sync_ns_) h_sync_ns_->Record(io.now - entered);
   return Status::OK();
 }

@@ -127,6 +127,13 @@ class Wal {
     uint64_t group_rides = 0;  ///< Commits that rode another commit's sync.
     uint64_t bytes_written = 0;
     uint64_t pad_bytes = 0;    ///< Sector-padding overhead (kPad frames).
+    /// Group commit accounting: SyncTo callers whose durability resolved to
+    /// the same device-sync completion instant form one group (rides of the
+    /// pending window, plus syncs the file system / device coalesced into
+    /// one FLUSH). `sync_groups` counts distinct groups; `max_group_commit`
+    /// is the largest group observed.
+    uint64_t sync_groups = 0;
+    uint64_t max_group_commit = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -137,6 +144,8 @@ class Wal {
   /// Appends a kPad frame filling the log to the next pad_to_bytes
   /// boundary (no-op when already aligned or padding is disabled).
   void PadToBoundary();
+  /// Group-commit bookkeeping: a SyncTo became durable at `done`.
+  void NoteCommitDurable(SimTime done);
 
   SimFile* file_;
   Options opts_;
@@ -149,12 +158,17 @@ class Wal {
   /// records below `lsn`.
   Lsn pending_sync_lsn_ = 0;
   SimTime pending_sync_done_ = 0;
+  /// Completion instant of the sync backing the currently open commit
+  /// group, and how many SyncTo callers it has carried so far.
+  SimTime last_sync_done_ = -1;
+  uint64_t cur_group_ = 0;
   std::string tail_;     ///< Appended but not yet written.
   Stats stats_;
 
   Tracer* tracer_ = nullptr;
   /// Registered metrics (null when no registry was supplied).
   Histogram* h_sync_ns_ = nullptr;
+  Histogram* h_group_size_ = nullptr;
   uint64_t* c_appends_ = nullptr;
   uint64_t* c_group_rides_ = nullptr;
 };

@@ -431,6 +431,16 @@ Status KvStore::WriteHeader(IoContext& io) {
   DURASSD_RETURN_IF_ERROR(s.status);
   io.AdvanceTo(s.done);
   h_fsync_ns_->Record(io.now - sync_start);
+  // Group-commit accounting: headers whose fsync coalesced into the same
+  // device sync (same completion instant) share one durability point.
+  if (s.done == last_sync_done_) {
+    cur_group_++;
+  } else {
+    cur_group_ = 1;
+    stats_.sync_groups++;
+    last_sync_done_ = s.done;
+  }
+  stats_.max_group_commit = std::max(stats_.max_group_commit, cur_group_);
   if (tracer_) {
     tracer_->Record(io.now, TraceEventType::kFsync, seq_,
                     static_cast<uint64_t>(io.now - sync_start));

@@ -50,6 +50,11 @@ class KvStore {
     uint64_t lost_updates_on_recovery = 0;
     uint64_t degraded_aborts = 0;  ///< In-flight batches dropped on device
                                    ///< degradation.
+    /// Group-commit accounting (mirrors Wal::Stats): commits whose header
+    /// fsync resolved to the same device-sync completion instant — the
+    /// file system / device coalesced them into one FLUSH — form a group.
+    uint64_t sync_groups = 0;
+    uint64_t max_group_commit = 0;
   };
 
   static StatusOr<std::unique_ptr<KvStore>> Open(IoContext& io,
@@ -163,6 +168,10 @@ class KvStore {
 
   bool read_only_ = false;
   std::string degraded_reason_;
+  /// Group-commit tracking: completion instant of the device sync backing
+  /// the open commit group, and the commits it has carried so far.
+  SimTime last_sync_done_ = -1;
+  uint64_t cur_group_ = 0;
   /// State at the last durable header (the degraded-abort rollback target).
   NodeRef committed_root_;
   uint64_t committed_seq_ = 0;

@@ -16,6 +16,13 @@ namespace durassd {
 /// timelines. Clients are always resumed in local-time order, which keeps
 /// causality across shared state tight at transaction granularity.
 ///
+/// Determinism guarantee: the resume order is a pure function of the
+/// inputs. Clients are popped in (local clock, FIFO) order — among clients
+/// whose clocks are equal, the one that became runnable *first* resumes
+/// first (ties never depend on client index, container layout, or hash
+/// order). Given the same (num_clients, total_ops, start_time, fn,
+/// options), every run produces the identical operation schedule.
+///
 /// This replaces the paper's 128 real benchmark threads: deterministic,
 /// seedable, and a few orders of magnitude faster than wall-clock runs.
 class ClientScheduler {
@@ -23,6 +30,13 @@ class ClientScheduler {
   /// Runs one operation for `client` starting at local time `now`; returns
   /// the operation's completion time (>= now).
   using ClientFn = std::function<SimTime(uint32_t client, SimTime now)>;
+
+  struct Options {
+    /// Virtual think time a client waits between one operation's
+    /// completion and its next submission (0 = fully closed loop). Models
+    /// the keying/application delay of interactive benchmark clients.
+    SimTime think_time = 0;
+  };
 
   struct RunResult {
     uint64_t ops = 0;
@@ -37,27 +51,44 @@ class ClientScheduler {
   };
 
   /// Runs `total_ops` operations spread across `num_clients` clients
-  /// starting at `start_time`. Each pop resumes the client with the
-  /// smallest local clock.
+  /// starting at `start_time`. Each pop resumes the runnable client with
+  /// the smallest local clock (FIFO among equals — see class comment).
+  /// Degenerate inputs (no clients or no ops) return a zero result.
   static RunResult Run(uint32_t num_clients, uint64_t total_ops,
-                       SimTime start_time, const ClientFn& fn) {
-    using Entry = std::pair<SimTime, uint32_t>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-    for (uint32_t c = 0; c < num_clients; ++c) {
-      heap.emplace(start_time, c);
-    }
+                       SimTime start_time, const ClientFn& fn,
+                       const Options& options) {
     RunResult result;
+    if (num_clients == 0 || total_ops == 0) return result;
+    struct Entry {
+      SimTime at;
+      uint64_t seq;  ///< Enqueue order: the FIFO tie-break among equal clocks.
+      uint32_t client;
+    };
+    const auto later = [](const Entry& a, const Entry& b) {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)> heap(
+        later);
+    uint64_t seq = 0;
+    for (uint32_t c = 0; c < num_clients; ++c) {
+      heap.push(Entry{start_time, seq++, c});
+    }
     SimTime latest = start_time;
     while (result.ops < total_ops && !heap.empty()) {
-      auto [now, client] = heap.top();
+      const Entry e = heap.top();
       heap.pop();
-      const SimTime done = fn(client, now);
+      const SimTime done = fn(e.client, e.at);
       latest = done > latest ? done : latest;
       result.ops++;
-      heap.emplace(done, client);
+      heap.push(Entry{done + options.think_time, seq++, e.client});
     }
     result.makespan = latest - start_time;
     return result;
+  }
+
+  static RunResult Run(uint32_t num_clients, uint64_t total_ops,
+                       SimTime start_time, const ClientFn& fn) {
+    return Run(num_clients, total_ops, start_time, fn, Options{});
   }
 };
 

@@ -73,6 +73,7 @@ struct Stack {
   explicit Stack(const CrashHarness::Options& opt) {
     SsdConfig dc =
         opt.durable_cache ? SsdConfig::DuraSsd() : SsdConfig::SsdA();
+    if (opt.durable_cache) dc.ordered_queue = opt.ordered_queue;
     dc.geometry = FlashGeometry::Tiny();
     dc.geometry.blocks_per_plane = 256;
     dc.geometry.pages_per_block = 32;
@@ -120,6 +121,7 @@ Status OpenEngine(Stack& s, const CrashHarness::Options& opt,
     dbo.double_write = opt.double_write;
     dbo.checkpoint_log_bytes = 2 * kMiB;  // Frequent checkpoints.
     dbo.sync_every_page_write = opt.sync_every_page_write;
+    dbo.checkpoint_queue_depth = opt.checkpoint_queue_depth;
     auto d = Database::Open(s.io, s.fs.get(), s.fs.get(), dbo);
     if (!d.ok()) return d.status();
     eng->db = std::move(*d);
@@ -326,7 +328,8 @@ std::string CrashHarness::Options::ToString() const {
      << " kv_batch=" << kv_batch_size << " seed=" << seed << " ops=" << ops
      << " ops_per_txn=" << ops_per_txn << " keyspace=" << keyspace
      << " cut_fraction=" << cut_fraction << " nested=" << nested_cut
-     << " faults=" << inject_faults;
+     << " faults=" << inject_faults << " ordered=" << ordered_queue
+     << " ckpt_qd=" << checkpoint_queue_depth;
   return os.str();
 }
 

@@ -64,6 +64,14 @@ class CrashHarness {
     /// DB only: fsync after every page write (commercial-RDBMS O_DSYNC
     /// mode — the fsync-frequency sweep of Sec. 4.3.2).
     bool sync_every_page_write = false;
+    /// Device command-queue mode (durable-cache devices only; volatile
+    /// presets are always unordered): true = DuraSSD ordered NCQ, false =
+    /// force the unordered queue so cuts land with out-of-order
+    /// acknowledgments in flight.
+    bool ordered_queue = true;
+    /// DB only: checkpoint destage queue depth — > 1 exercises the async
+    /// submit/complete path, so cuts land with commands in flight.
+    uint32_t checkpoint_queue_depth = 1;
     uint32_t kv_batch_size = 1;  ///< KV only: updates per fsync.
     uint64_t seed = 1;
     int ops = 60;                ///< Mutating operations in the workload.

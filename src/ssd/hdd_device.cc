@@ -62,7 +62,19 @@ SimTime HddDevice::DestageToMedia(SimTime t, Lpn lpn, Slice data,
   return g.done;
 }
 
-BlockDevice::Result HddDevice::Write(SimTime now, Lpn lpn, Slice data) {
+BlockDevice::Result HddDevice::Execute(SimTime t, const Command& cmd) {
+  switch (cmd.op) {
+    case Command::Op::kWrite:
+      return DoWrite(t, cmd.lpn, cmd.data);
+    case Command::Op::kRead:
+      return DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
+    case Command::Op::kFlush:
+      return DoFlush(t);
+  }
+  return {Status::InvalidArgument("unknown command op"), t};
+}
+
+BlockDevice::Result HddDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
   if (!powered_) return {Status::DeviceOffline(), now};
   if (data.empty() || data.size() % cfg_.sector_size != 0) {
     return {Status::InvalidArgument("write size not sector-aligned"), now};
@@ -111,8 +123,8 @@ BlockDevice::Result HddDevice::Write(SimTime now, Lpn lpn, Slice data) {
   return {Status::OK(), ack};
 }
 
-BlockDevice::Result HddDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
-                                    std::string* out) {
+BlockDevice::Result HddDevice::DoRead(SimTime now, Lpn lpn, uint32_t nsec,
+                                      std::string* out) {
   if (!powered_) return {Status::DeviceOffline(), now};
   if (nsec == 0 || lpn + nsec > cfg_.num_sectors) {
     return {Status::InvalidArgument("read beyond device capacity"), now};
@@ -149,7 +161,7 @@ BlockDevice::Result HddDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
   return {Status::OK(), bus.done};
 }
 
-BlockDevice::Result HddDevice::Flush(SimTime now) {
+BlockDevice::Result HddDevice::DoFlush(SimTime now) {
   if (!powered_) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, now);
   // Flushes serialize in the drive's firmware.
@@ -204,6 +216,7 @@ void HddDevice::PowerCut(SimTime t) {
   bus_.Reset();
   arm_.Reset();
   max_time_seen_ = 0;
+  AbortInFlight(t);
 }
 
 SimTime HddDevice::PowerOn() {

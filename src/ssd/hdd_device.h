@@ -49,9 +49,6 @@ class HddDevice : public BlockDevice {
 
   uint32_t sector_size() const override { return cfg_.sector_size; }
   uint64_t num_sectors() const override { return cfg_.num_sectors; }
-  Result Write(SimTime now, Lpn lpn, Slice data) override;
-  Result Read(SimTime now, Lpn lpn, uint32_t nsec, std::string* out) override;
-  Result Flush(SimTime now) override;
   void PowerCut(SimTime t) override;
   SimTime PowerOn() override;
   bool supports_atomic_write() const override { return false; }
@@ -60,7 +57,14 @@ class HddDevice : public BlockDevice {
   bool powered() const { return powered_; }
   const Config& config() const { return cfg_; }
 
+ protected:
+  Result Execute(SimTime t, const Command& cmd) override;
+
  private:
+  Result DoWrite(SimTime now, Lpn lpn, Slice data);
+  Result DoRead(SimTime now, Lpn lpn, uint32_t nsec, std::string* out);
+  Result DoFlush(SimTime now);
+
   struct CachedWrite {
     std::string data;
     SimTime ack;

@@ -79,6 +79,11 @@ struct SsdConfig {
 
   /// NCQ depth (SATA: 31/32 outstanding commands).
   uint32_t ncq_depth = 32;
+  /// Host submission-window limit for the asynchronous Submit path: a
+  /// Submit stalls (in virtual time) while this many commands are in
+  /// flight. 0 = unlimited, which keeps purely synchronous callers'
+  /// timing identical to the pre-async model.
+  uint32_t host_queue_depth = 0;
   /// Ordered command queue (DuraSSD firmware feature, Sec. 3.3). Keeps the
   /// host-visible completion order equal to arrival order so WAL ordering
   /// survives without barriers.

@@ -35,7 +35,23 @@ SsdDevice::SsdDevice(SsdConfig config)
       h_frame_stall_ns_(metrics_.GetHistogram("ssd.frame_stall_ns")),
       h_destage_ns_(metrics_.GetHistogram("ssd.destage_ns")),
       h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")),
-      c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")) {}
+      c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")),
+      h_qd_(metrics_.GetHistogram("ssd.qd")) {
+  set_qd_histogram(h_qd_);
+  set_queue_depth_limit(cfg_.host_queue_depth);
+}
+
+BlockDevice::Result SsdDevice::Execute(SimTime t, const Command& cmd) {
+  switch (cmd.op) {
+    case Command::Op::kWrite:
+      return DoWrite(t, cmd.lpn, cmd.data);
+    case Command::Op::kRead:
+      return DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
+    case Command::Op::kFlush:
+      return DoFlush(t);
+  }
+  return {Status::InvalidArgument("unknown command op"), t};
+}
 
 bool SsdDevice::MaybeTripScheduledCut(SimTime now) {
   if (!cut_armed_ || now < scheduled_cut_) return false;
@@ -66,6 +82,7 @@ void SsdDevice::RollbackCommandEntries(Lpn lpn, uint32_t nsec, SimTime ack) {
     if (e.has_prev) {
       e.data = std::move(e.prev_data);
       e.ack = e.prev_ack;
+      e.seq = e.prev_seq;
       e.has_prev = false;
       e.program_start = 0;
       e.program_done = kNeverProgrammed;
@@ -104,7 +121,8 @@ SimTime SsdDevice::AcquireFrame(SimTime t) {
   return t;
 }
 
-void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack) {
+void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack,
+                                 uint64_t seq) {
   CacheEntry& e = cache_[lpn];
   if (e.ack != 0 || !e.data.empty()) {
     // Coalesce: keep the displaced acknowledged version for the incomplete-
@@ -113,11 +131,13 @@ void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack) {
     e.has_prev = true;
     e.prev_data = std::move(e.data);
     e.prev_ack = e.ack;
+    e.prev_seq = e.seq;
   }
   if (cfg_.store_data) {
     e.data.assign(sector.data(), sector.size());
   }
   e.ack = ack;
+  e.seq = seq;
   e.program_start = 0;
   e.program_done = kNeverProgrammed;
   cache_fifo_.push_back(lpn);
@@ -167,7 +187,7 @@ Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
   return Status::OK();
 }
 
-BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
+BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
   if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
   if (ftl_.degraded()) {
@@ -237,13 +257,22 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
   // volatile) cache; destage is scheduled immediately for parallelism.
   SimTime t = fw.done;
   for (uint32_t i = 0; i < nsec; ++i) t = AcquireFrame(t);
-  const SimTime ack = t;
+  SimTime ack = t;
+  if (ordered_writes() && ack < last_ordered_ack_) {
+    // Ordered NCQ (Sec. 3.3): the firmware acknowledges writes in
+    // submission order, so a small write overtaking a large one in the
+    // pipeline still acks after it. Destage inherits the clamped time,
+    // which is what makes a power cut lose only a suffix of the stream.
+    ack = last_ordered_ack_;
+    stats_.ordered_ack_clamps++;
+  }
+  const uint64_t seq = ++write_seq_;
 
   for (uint32_t i = 0; i < nsec; ++i) {
     InsertCacheEntry(lpn + i,
                      Slice(data.data() + static_cast<size_t>(i) * cfg_.sector_size,
                            cfg_.sector_size),
-                     ack);
+                     ack, seq);
   }
 
   std::vector<Lpn> group;
@@ -296,6 +325,7 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
   }
 
   if (CutBeforeCompletion(ack)) return {Status::DeviceOffline(), now};
+  if (ordered_writes()) last_ordered_ack_ = ack;
   max_time_seen_ = std::max(max_time_seen_, ack);
   stats_.host_writes++;
   stats_.host_written_sectors += nsec;
@@ -303,8 +333,8 @@ BlockDevice::Result SsdDevice::Write(SimTime now, Lpn lpn, Slice data) {
   return {Status::OK(), ack};
 }
 
-BlockDevice::Result SsdDevice::Read(SimTime now, Lpn lpn, uint32_t nsec,
-                                    std::string* out) {
+BlockDevice::Result SsdDevice::DoRead(SimTime now, Lpn lpn, uint32_t nsec,
+                                      std::string* out) {
   if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
   if (nsec == 0 || lpn + nsec > num_sectors()) {
@@ -384,7 +414,7 @@ SimTime SsdDevice::MappingPersistCost(size_t entries) const {
   return static_cast<SimTime>(pages) * cfg_.geometry.program_latency;
 }
 
-BlockDevice::Result SsdDevice::Flush(SimTime now) {
+BlockDevice::Result SsdDevice::DoFlush(SimTime now) {
   if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
   if (!powered_) return {Status::DeviceOffline(), now};
   max_time_seen_ = std::max(max_time_seen_, now);
@@ -568,23 +598,37 @@ void SsdDevice::PowerCut(SimTime t) {
   if (cfg_.durable_cache) {
     // Discard commands whose transfer had not completed (atomic writer,
     // Sec. 3.2), restoring the previously acknowledged version if any.
+    // In ordered mode, verify the suffix-loss guarantee while doing so: no
+    // surviving entry may have been submitted after a dropped one.
+    uint64_t min_dropped_seq = ~0ull;
+    uint64_t max_kept_seq = 0;
     for (auto it = cache_.begin(); it != cache_.end();) {
       CacheEntry& e = it->second;
       if (e.ack > t) {
         stats_.dropped_incomplete++;
+        min_dropped_seq = std::min(min_dropped_seq, e.seq);
         if (e.has_prev && e.prev_ack <= t) {
           e.data = std::move(e.prev_data);
           e.ack = e.prev_ack;
+          e.seq = e.prev_seq;
           e.has_prev = false;
           e.program_start = 0;
           e.program_done = kNeverProgrammed;  // Needs replay.
+          max_kept_seq = std::max(max_kept_seq, e.seq);
           ++it;
         } else {
+          if (e.has_prev) {
+            min_dropped_seq = std::min(min_dropped_seq, e.prev_seq);
+          }
           it = cache_.erase(it);
         }
       } else {
+        max_kept_seq = std::max(max_kept_seq, e.seq);
         ++it;
       }
+    }
+    if (ordered_writes() && min_dropped_seq < max_kept_seq) {
+      stats_.ordering_violations++;
     }
     if (has_pending_half_ && cache_.count(pending_half_lpn_) == 0) {
       has_pending_half_ = false;
@@ -611,6 +655,10 @@ void SsdDevice::PowerCut(SimTime t) {
   last_flush_start_ = last_flush_done_ = -1;
   flush_windows_.clear();
   max_time_seen_ = 0;
+  last_ordered_ack_ = 0;  // The device clock restarts at PowerOn.
+  // Host-visible async completions that had not reached their completion
+  // instant die with the queue.
+  AbortInFlight(t);
 }
 
 SimTime SsdDevice::ReplayDump() {
@@ -770,6 +818,7 @@ Status SsdDevice::Shutdown(SimTime now) {
   while (!outstanding_.empty()) outstanding_.pop();
   has_pending_half_ = false;
   pending_half_lpn_ = kInvalidLpn;
+  last_ordered_ack_ = 0;
   return Status::OK();
 }
 

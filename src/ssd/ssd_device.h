@@ -58,6 +58,10 @@ class SsdDevice : public BlockDevice {
     uint64_t degraded_write_rejects = 0;  ///< Writes refused in degraded
                                           ///< (read-only) mode.
     uint64_t scheduled_cuts_tripped = 0;  ///< SchedulePowerCut firings.
+    uint64_t ordered_ack_clamps = 0;      ///< Ordered-NCQ ack monotonization.
+    uint64_t ordering_violations = 0;     ///< Ordered mode: a power cut kept
+                                          ///< a write submitted after a lost
+                                          ///< one (must stay 0).
   };
 
   /// Device-level view of NAND fault handling, aggregated from the FTL
@@ -81,13 +85,17 @@ class SsdDevice : public BlockDevice {
   // --- BlockDevice ---
   uint32_t sector_size() const override { return cfg_.sector_size; }
   uint64_t num_sectors() const override { return ftl_.logical_sectors(); }
-  Result Write(SimTime now, Lpn lpn, Slice data) override;
-  Result Read(SimTime now, Lpn lpn, uint32_t nsec, std::string* out) override;
-  Result Flush(SimTime now) override;
   void PowerCut(SimTime t) override;
   SimTime PowerOn() override;
   bool supports_atomic_write() const override { return cfg_.durable_cache; }
   bool has_durable_cache() const override { return cfg_.durable_cache; }
+  /// Ordered NCQ (Sec. 3.3): with a durable cache and cfg_.ordered_queue,
+  /// acknowledgement order equals submission order, so a power cut can only
+  /// lose a *suffix* of the submitted write stream. PowerCut checks the
+  /// invariant (stats().ordering_violations).
+  bool ordered_writes() const override {
+    return cfg_.durable_cache && cfg_.ordered_queue && cfg_.cache_enabled;
+  }
 
   /// Clean shutdown: FLUSH CACHE then power down without the emergency flag.
   Status Shutdown(SimTime now);
@@ -140,10 +148,14 @@ class SsdDevice : public BlockDevice {
   /// written (GC included). The endurance argument of Sec. 1 & 6.
   double WriteAmplification() const;
 
+ protected:
+  Result Execute(SimTime t, const Command& cmd) override;
+
  private:
   struct CacheEntry {
     std::string data;          ///< Sector bytes; empty in timing-only mode.
     SimTime ack = 0;           ///< Command acknowledged (atomicity point).
+    uint64_t seq = 0;          ///< Submission sequence of the owning command.
     SimTime program_start = 0;
     SimTime program_done = 0;  ///< kNeverProgrammed until destage scheduled.
     // One-deep history for the coalescing rollback corner case: if the
@@ -152,10 +164,17 @@ class SsdDevice : public BlockDevice {
     bool has_prev = false;
     std::string prev_data;
     SimTime prev_ack = 0;
+    uint64_t prev_seq = 0;
   };
 
   static constexpr SimTime kNeverProgrammed =
       std::numeric_limits<SimTime>::max();
+
+  /// Single-command executors (the pre-async Write/Read/Flush bodies),
+  /// dispatched from Execute.
+  Result DoWrite(SimTime now, Lpn lpn, Slice data);
+  Result DoRead(SimTime now, Lpn lpn, uint32_t nsec, std::string* out);
+  Result DoFlush(SimTime now);
 
   SimTime BusTime(uint32_t nsec, bool is_write) const;
   SimTime FwTime(uint32_t nsec, bool is_write) const;
@@ -165,7 +184,7 @@ class SsdDevice : public BlockDevice {
   /// Destages `group` (1..sectors_per_page sectors) at time t, updating the
   /// cache entries' program windows.
   Status DestageGroup(SimTime t, const std::vector<Lpn>& group);
-  void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack);
+  void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack, uint64_t seq);
   void EvictCleanIfNeeded();
   /// Mapping-journal persistence cost for `entries` dirty mapping entries.
   SimTime MappingPersistCost(size_t entries) const;
@@ -213,6 +232,11 @@ class SsdDevice : public BlockDevice {
   bool cut_armed_ = false;
   SimTime scheduled_cut_ = 0;
   SimTime max_time_seen_ = 0;
+  /// Ordered NCQ: acknowledgement time of the last write command, used to
+  /// clamp acks monotone in submission order (see ordered_writes()).
+  SimTime last_ordered_ack_ = 0;
+  /// Submission sequence number of write commands (ordering invariant).
+  uint64_t write_seq_ = 0;
   SimTime last_flush_start_ = -1;
   SimTime last_flush_done_ = -1;
   /// Recent FLUSH CACHE service windows (reads arriving inside one wait).
@@ -232,6 +256,7 @@ class SsdDevice : public BlockDevice {
   Histogram* h_destage_ns_;
   Histogram* h_flush_drain_ns_;
   uint64_t* c_degraded_rejects_;
+  Histogram* h_qd_;  ///< In-flight depth at each submission ("ssd.qd").
 };
 
 }  // namespace durassd

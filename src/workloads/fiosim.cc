@@ -1,5 +1,6 @@
 #include "workloads/fiosim.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,51 @@ FioResult RunFio(BlockDevice* device, const FioJob& job) {
     }
     const BlockDevice::Result f = device->Flush(t);
     start_time = f.status.ok() ? f.done : t;
+  }
+
+  // Asynchronous windowed submission (fio iodepth > 1): one submitter
+  // keeps the device's queue full; latency is measured per command from
+  // submission to completion.
+  if (job.mode == FioJob::Mode::kRandWrite && job.iodepth > 1) {
+    FioResult result;
+    Random rng(job.seed);
+    SimTime now = start_time;
+    uint32_t since_fsync = 0;
+    const auto reap = [&](SimTime upto) {
+      for (const SimFile::Completion& c : file->Poll(upto)) {
+        result.latency.Record(c.done - c.submit);
+      }
+    };
+    const auto drain = [&] {
+      while (file->pending_count() > 0) {
+        now = std::max(now, file->EarliestPendingDone());
+        reap(now);
+      }
+    };
+    for (uint64_t i = 0; i < job.ops; ++i) {
+      while (file->pending_count() >= job.iodepth) {
+        now = std::max(now, file->EarliestPendingDone());
+        reap(now);
+      }
+      const uint64_t offset = rng.Uniform(blocks) * job.block_bytes;
+      file->SubmitWrite(now, offset, payload);
+      if (job.fsync_every != 0 && ++since_fsync >= job.fsync_every) {
+        since_fsync = 0;
+        drain();
+        const SimFile::IoResult s = file->Sync(now);
+        if (s.status.ok()) now = std::max(now, s.done);
+      }
+    }
+    drain();
+    const BlockDevice::Result flush = device->Flush(now);
+    const SimTime duration =
+        (flush.status.ok() ? flush.done : now) - start_time;
+    result.duration = duration;
+    result.iops = duration <= 0
+                      ? 0
+                      : static_cast<double>(job.ops) /
+                            (static_cast<double>(duration) / kSecond);
+    return result;
   }
 
   std::vector<Random> rngs;

@@ -81,6 +81,11 @@ TEST(CrashTorture, SeedRangeSweep) {
           o.cut_fraction = cut;
           o.nested_cut = (seed % 2 == 0) && cut < 0.5;
           o.inject_faults = (seed % 2 == 1) && cut >= 0.5;
+          // Alternate the queue mode and exercise async checkpoint
+          // destage on half the scenarios, so cuts land with commands in
+          // flight in both ordered and unordered modes across the range.
+          o.ordered_queue = (seed % 2 == 0);
+          o.checkpoint_queue_depth = cut < 0.5 ? 8 : 1;
           TortureOne(o, &failures);
           ++ran;
         }
