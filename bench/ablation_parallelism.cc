@@ -15,48 +15,71 @@
 namespace durassd {
 namespace {
 
+double RunOne(uint32_t channels, uint32_t planes_per_chip, bool lazy,
+              uint64_t ops, BenchJson* json) {
+  SsdConfig cfg = SsdConfig::DuraSsd();
+  cfg.geometry.channels = channels;
+  cfg.geometry.planes_per_chip = planes_per_chip;
+  // Keep capacity roughly constant so GC pressure is comparable.
+  cfg.geometry.blocks_per_plane = 96 * 16 / (channels * planes_per_chip);
+  // Open up the host interface so the media, not the firmware pipeline or
+  // the bus, is the bottleneck under the 128-thread burst (a SATA link
+  // serializes 4K writes at ~10us each and would flatten the sweep past
+  // 64 planes).
+  cfg.fw_parallelism = 32;
+  cfg.fw_write_base = 10 * kMicrosecond;
+  cfg.bus_write_bytes_per_ns = 3.2;  // ~PCIe Gen3 x4.
+  cfg.bus_cmd_overhead = 1 * kMicrosecond;
+  cfg.write_buffer_sectors = 512;
+  cfg.store_data = false;
+  if (!lazy) {
+    // Legacy path: eager per-command destage onto blindly round-robined
+    // planes, single-plane programs only.
+    cfg.destage_batch_pages = 1;
+    cfg.idle_aware_allocation = false;
+    cfg.multi_plane_program = false;
+  }
+  SsdDevice dev(cfg);
+  FioJob job;
+  job.threads = 128;
+  job.ops = ops;
+  job.write_barriers = false;
+  job.working_set_bytes = 64 * kMiB;
+  const FioResult r = RunFio(&dev, job);
+  if (json->enabled()) {
+    BenchResult row{"channels=" + std::to_string(channels) +
+                    "/planes=" + std::to_string(planes_per_chip) +
+                    (lazy ? "/lazy" : "/eager_rr")};
+    row.Param("channels", static_cast<uint64_t>(channels))
+        .Param("planes_per_chip", static_cast<uint64_t>(planes_per_chip))
+        .Param("total_planes",
+               static_cast<uint64_t>(cfg.geometry.total_planes()))
+        .Param("lazy_destage", lazy)
+        .Throughput(r.iops, "iops")
+        .LatencyNs(r.latency)
+        .Device(dev);
+    json->Add(std::move(row));
+  }
+  return r.iops;
+}
+
 void RunSweep(uint64_t ops, BenchJson* json) {
   printf("Ablation: internal parallelism vs sustained 4KB write IOPS\n");
-  printf("  %-10s %-8s %-8s %12s\n", "channels", "planes", "total",
-         "IOPS(128thr)");
+  printf("  (eager_rr = per-command destage, blind round-robin planes;\n");
+  printf("   lazy = batched destage, idle-aware planes, multi-plane)\n");
+  printf("  %-10s %-8s %-8s %14s %14s %8s\n", "channels", "planes", "total",
+         "eager_rr", "lazy", "ratio");
   const struct {
     uint32_t channels, planes_per_chip;
   } kConfigs[] = {{1, 1}, {2, 1}, {4, 1}, {4, 2}, {8, 2}, {16, 2}};
   for (const auto& c : kConfigs) {
-    SsdConfig cfg = SsdConfig::DuraSsd();
-    cfg.geometry.channels = c.channels;
-    cfg.geometry.planes_per_chip = c.planes_per_chip;
-    // Keep capacity roughly constant so GC pressure is comparable.
-    cfg.geometry.blocks_per_plane =
-        96 * 16 / (c.channels * c.planes_per_chip);
-    // Open up the host interface so the media, not the firmware pipeline,
-    // is the bottleneck under the 128-thread burst.
-    cfg.fw_parallelism = 32;
-    cfg.fw_write_base = 10 * kMicrosecond;
-    cfg.write_buffer_sectors = 512;
-    cfg.store_data = false;
-    SsdDevice dev(cfg);
-    FioJob job;
-    job.threads = 128;
-    job.ops = ops;
-    job.write_barriers = false;
-    job.working_set_bytes = 64 * kMiB;
-    const FioResult r = RunFio(&dev, job);
-    printf("  %-10u %-8u %-8u %12.0f\n", c.channels,
-           c.planes_per_chip,
-           cfg.geometry.total_planes(), r.iops);
-    if (json->enabled()) {
-      BenchResult row("channels=" + std::to_string(c.channels) +
-                      "/planes=" + std::to_string(c.planes_per_chip));
-      row.Param("channels", static_cast<uint64_t>(c.channels))
-          .Param("planes_per_chip", static_cast<uint64_t>(c.planes_per_chip))
-          .Param("total_planes",
-                 static_cast<uint64_t>(cfg.geometry.total_planes()))
-          .Throughput(r.iops, "iops")
-          .LatencyNs(r.latency)
-          .Device(dev);
-      json->Add(std::move(row));
-    }
+    const double eager =
+        RunOne(c.channels, c.planes_per_chip, /*lazy=*/false, ops, json);
+    const double lazy =
+        RunOne(c.channels, c.planes_per_chip, /*lazy=*/true, ops, json);
+    printf("  %-10u %-8u %-8u %14.0f %14.0f %7.2fx\n", c.channels,
+           c.planes_per_chip, c.channels * 4 * 4 * c.planes_per_chip, eager,
+           lazy, eager > 0 ? lazy / eager : 0.0);
   }
 }
 

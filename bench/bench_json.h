@@ -98,6 +98,9 @@ inline void AppendDeviceJson(const SsdDevice& dev, JsonWriter* w) {
   w->Key("dropped_incomplete"); w->Uint(s.dropped_incomplete);
   w->Key("capacitor_overruns"); w->Uint(s.capacitor_overruns);
   w->Key("reads_stalled_by_flush"); w->Uint(s.reads_stalled_by_flush);
+  w->Key("destage_absorbed"); w->Uint(s.destage_absorbed);
+  w->Key("destage_batches"); w->Uint(s.destage_batches);
+  w->Key("multi_plane_programs"); w->Uint(dev.flash().stats().multi_plane_programs);
   w->Key("write_amplification"); w->Double(dev.WriteAmplification());
   w->EndObject();
   w->Key("faults");

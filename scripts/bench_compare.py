@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fresh BENCH_results.json to a baseline.
+
+The simulator is virtual-time deterministic, so identical code produces
+identical numbers; the tolerance band exists to let intentional,
+reviewed perf changes through (after which the committed baseline should
+be regenerated with `./run_benches.sh --quick --json`).
+
+Usage:
+    scripts/bench_compare.py BASELINE CURRENT [--tolerance 0.10]
+
+Exit status: 0 when no throughput metric dropped more than the tolerance
+below the baseline (new rows/benches are fine, improvements are fine);
+1 when a regression or a removed row/bench was found; 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def rows_by_name(bench_doc):
+    return {r["name"]: r for r in bench_doc.get("results", []) if "name" in r}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional throughput drop vs baseline (default 0.10)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline).get("benches", {})
+    cur = load(args.current).get("benches", {})
+
+    regressions = []
+    notes = []
+    compared = 0
+
+    for bench_name, base_doc in sorted(base.items()):
+        if "results" not in base_doc:
+            # google-benchmark native output (micro_ops): wall-clock noisy,
+            # guarded by its own tooling, skip.
+            continue
+        if bench_name not in cur:
+            regressions.append(f"{bench_name}: bench missing from current run")
+            continue
+        cur_rows = rows_by_name(cur[bench_name])
+        for row_name, base_row in rows_by_name(base_doc).items():
+            base_tp = base_row.get("throughput")
+            if not base_tp:
+                continue
+            cur_row = cur_rows.get(row_name)
+            if cur_row is None:
+                # Renamed/removed rows show up on intentional bench rewrites;
+                # they fail so the baseline refresh is never forgotten.
+                regressions.append(f"{bench_name}/{row_name}: row missing")
+                continue
+            cur_tp = cur_row.get("throughput")
+            if not cur_tp:
+                regressions.append(
+                    f"{bench_name}/{row_name}: throughput metric missing"
+                )
+                continue
+            compared += 1
+            b, c = float(base_tp["value"]), float(cur_tp["value"])
+            unit = base_tp.get("unit", "")
+            floor = b * (1.0 - args.tolerance)
+            if c < floor:
+                regressions.append(
+                    f"{bench_name}/{row_name}: {c:.0f} {unit} < "
+                    f"{floor:.0f} (baseline {b:.0f} - {args.tolerance:.0%})"
+                )
+            elif c > b * (1.0 + args.tolerance):
+                notes.append(
+                    f"{bench_name}/{row_name}: improved {b:.0f} -> {c:.0f} "
+                    f"{unit} (consider refreshing the baseline)"
+                )
+
+    for n in notes:
+        print(f"note: {n}")
+    print(f"bench_compare: {compared} rows compared, "
+          f"{len(regressions)} regression(s), tolerance {args.tolerance:.0%}")
+    if regressions:
+        for r in regressions:
+            print(f"REGRESSION: {r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kDegraded: return "degraded";
     case TraceEventType::kTxnAbort: return "txn_abort";
     case TraceEventType::kInvariantViolation: return "invariant_violation";
+    case TraceEventType::kDestageBatch: return "destage_batch";
   }
   return "unknown";
 }

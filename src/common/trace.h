@@ -39,6 +39,8 @@ enum class TraceEventType : uint8_t {
                      ///< a0=txn/seq, a1=reason (StatusCode).
   kInvariantViolation,  ///< Crash-harness oracle check failed.
                         ///< a0=invariant id, a1=detail.
+  kDestageBatch,     ///< Lazy destage drain issued. a0=pending_sectors,
+                     ///< a1=trigger (0=batch, 1=idle, 2=pressure, 3=flush).
 };
 
 const char* TraceEventTypeName(TraceEventType type);

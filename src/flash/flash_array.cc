@@ -1,6 +1,7 @@
 #include "flash/flash_array.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace durassd {
 
@@ -58,19 +59,15 @@ SimTime FlashArray::ReadPage(SimTime now, Ppn ppn, std::string* out,
   return done;
 }
 
-Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
-                               SimTime* done) {
+Status FlashArray::CheckProgrammable(Ppn ppn, Slice data) const {
   const FlashGeometry& g = opts_.geometry;
-  max_seen_time_ = std::max(max_seen_time_, now);
-  PruneInFlight(now);
-
   if (ppn >= states_.size()) {
     return Status::InvalidArgument("ppn out of range");
   }
   if (states_[ppn] != PageState::kFree) {
     return Status::IoError("program to non-erased page");
   }
-  Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
+  const Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
   if (block.bad) {
     return Status::IoError("program to bad block");
   }
@@ -80,15 +77,13 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
   if (data.size() > g.page_size) {
     return Status::InvalidArgument("data larger than page");
   }
+  return Status::OK();
+}
 
-  stats_.programs++;
-  Plane& plane = planes_[g.PlaneOf(ppn)];
-  // Transfer host->page-register over the channel, then program the cells.
-  const SimTime xfer_done = ReserveChannel(g.ChannelOf(ppn), now);
-  const SimTime prog_start = std::max(xfer_done, plane.busy_until);
-  const SimTime prog_done = prog_start + g.program_latency;
-  plane.busy_until = prog_done;
-
+bool FlashArray::CommitProgram(Ppn ppn, Slice data, SimTime prog_start,
+                               SimTime prog_done) {
+  const FlashGeometry& g = opts_.geometry;
+  Block& block = BlockAt(g.PlaneOf(ppn), g.BlockOf(ppn));
   if (faults_.enabled() && faults_.OnProgram(ppn)) {
     // The die reports program-status fail after the full program time. The
     // page is consumed (in-order cursor advances) but holds nothing usable;
@@ -98,10 +93,8 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
     torn_[ppn] = true;
     block.next_page++;
     data_.erase(ppn);
-    *done = prog_done;
-    return Status::IoError("program failed");
+    return false;
   }
-
   states_[ppn] = PageState::kValid;
   torn_[ppn] = false;
   block.next_page++;
@@ -112,8 +105,124 @@ Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
     stored.resize(g.page_size, '\0');
   }
   inflight_programs_.push_back({ppn, prog_start, prog_done});
+  return true;
+}
+
+Status FlashArray::ProgramPage(SimTime now, Ppn ppn, Slice data,
+                               SimTime* done, SimTime* start) {
+  const FlashGeometry& g = opts_.geometry;
+  max_seen_time_ = std::max(max_seen_time_, now);
+  PruneInFlight(now);
+  DURASSD_RETURN_IF_ERROR(CheckProgrammable(ppn, data));
+
+  stats_.programs++;
+  Plane& plane = planes_[g.PlaneOf(ppn)];
+  // Transfer host->page-register over the channel, then program the cells.
+  const SimTime xfer_done = ReserveChannel(g.ChannelOf(ppn), now);
+  const SimTime prog_start = std::max(xfer_done, plane.busy_until);
+  const SimTime prog_done = prog_start + g.program_latency;
+  plane.busy_until = prog_done;
+  if (start != nullptr) *start = prog_start;
   *done = prog_done;
+
+  if (!CommitProgram(ppn, data, prog_start, prog_done)) {
+    return Status::IoError("program failed");
+  }
   return Status::OK();
+}
+
+Status FlashArray::ProgramPagesMultiPlane(SimTime now, Ppn ppn0, Ppn ppn1,
+                                          Slice data0, Slice data1,
+                                          SimTime* done, SimTime* start,
+                                          bool failed[2]) {
+  const FlashGeometry& g = opts_.geometry;
+  max_seen_time_ = std::max(max_seen_time_, now);
+  PruneInFlight(now);
+  failed[0] = failed[1] = false;
+
+  const uint32_t p0 = g.PlaneOf(ppn0);
+  const uint32_t p1 = g.PlaneOf(ppn1);
+  if (p0 == p1 || p0 / g.planes_per_chip != p1 / g.planes_per_chip) {
+    return Status::InvalidArgument(
+        "multi-plane program requires distinct sibling planes of one chip");
+  }
+  DURASSD_RETURN_IF_ERROR(CheckProgrammable(ppn0, data0));
+  DURASSD_RETURN_IF_ERROR(CheckProgrammable(ppn1, data1));
+
+  stats_.programs += 2;
+  stats_.multi_plane_programs++;
+  // Both page registers load over the (shared) channel back to back, then
+  // the single program command drives both planes' cells concurrently: one
+  // tPROG window, two pages.
+  const uint32_t channel = g.ChannelOf(ppn0);
+  const SimTime xfer0 = ReserveChannel(channel, now);
+  const SimTime xfer1 = ReserveChannel(channel, xfer0);
+  const SimTime prog_start = std::max(
+      xfer1, std::max(planes_[p0].busy_until, planes_[p1].busy_until));
+  const SimTime prog_done = prog_start + g.program_latency;
+  planes_[p0].busy_until = prog_done;
+  planes_[p1].busy_until = prog_done;
+  if (start != nullptr) *start = prog_start;
+  *done = prog_done;
+
+  // Program-status is reported (and fault-rolled) per plane, like real
+  // multi-plane NAND: one plane can fail while its sibling succeeds.
+  failed[0] = !CommitProgram(ppn0, data0, prog_start, prog_done);
+  failed[1] = !CommitProgram(ppn1, data1, prog_start, prog_done);
+  if (failed[0] || failed[1]) {
+    return Status::IoError("multi-plane program failed");
+  }
+  return Status::OK();
+}
+
+uint32_t FlashArray::ChannelOfPlane(uint32_t plane) const {
+  const FlashGeometry& g = opts_.geometry;
+  const uint32_t planes_per_channel =
+      g.packages_per_channel * g.chips_per_package * g.planes_per_chip;
+  return plane / planes_per_channel;
+}
+
+SimTime FlashArray::plane_ready_time(uint32_t plane) const {
+  return std::max(planes_[plane].busy_until,
+                  channel_busy_[ChannelOfPlane(plane)]);
+}
+
+uint32_t FlashArray::NextIdlePlane(SimTime now, uint32_t group) {
+  const uint32_t n = static_cast<uint32_t>(planes_.size());
+  if (group == 0 || group > n) group = 1;
+  const uint32_t slots = n / group;
+  const uint32_t first = (alloc_cursor_ / group) % slots;
+  uint32_t best_slot = first;
+  SimTime best_ready = std::numeric_limits<SimTime>::max();
+  for (uint32_t i = 0; i < slots; ++i) {
+    const uint32_t slot = (first + i) % slots;
+    SimTime cell_busy = 0;
+    SimTime ready = 0;
+    for (uint32_t j = 0; j < group; ++j) {
+      cell_busy = std::max(cell_busy, planes_[slot * group + j].busy_until);
+      ready = std::max(ready, plane_ready_time(slot * group + j));
+    }
+    if (cell_busy <= now) {
+      // Cell-idle: the first such slot from the cursor wins — the
+      // round-robin striping tie-break. Channel occupancy is deliberately
+      // ignored here: a pending transfer costs tens of microseconds while
+      // a program occupies the cells for tPROG, and skipping a whole
+      // channel's planes over a transfer makes consecutive batches cluster
+      // onto a near-constant plane set (the cursor barely advances), which
+      // concentrates freshly written — soon re-read — data on exactly the
+      // planes the next batch keeps busy.
+      best_slot = slot;
+      break;
+    }
+    // No cell-idle slot: fall back to the earliest actual availability,
+    // channel wait included.
+    if (ready < best_ready) {
+      best_slot = slot;
+      best_ready = ready;
+    }
+  }
+  alloc_cursor_ = ((best_slot + 1) * group) % n;
+  return best_slot * group;
 }
 
 Status FlashArray::EraseBlock(SimTime now, uint32_t plane_idx,
@@ -278,6 +387,7 @@ void FlashArray::PowerCut(SimTime t) {
   // starts idle.
   for (auto& plane : planes_) plane.busy_until = 0;
   std::fill(channel_busy_.begin(), channel_busy_.end(), 0);
+  alloc_cursor_ = 0;
   max_seen_time_ = 0;
 }
 

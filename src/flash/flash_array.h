@@ -67,13 +67,47 @@ class FlashArray {
 
   /// Programs an erased page. Enforces NAND constraints: the page must be
   /// free and must be the next unwritten page of its block (in-order
-  /// programming). `done` receives the completion time.
+  /// programming). `done` receives the completion time; `start` (optional)
+  /// receives the true cell-program start — after the channel transfer and
+  /// any wait for the plane — which is what the torn-write model keys on.
   ///
   /// An injected program failure returns IoError after charging the full
   /// program latency; the page is left unusable (invalid, no data) and the
   /// in-order cursor advances past it, as on real NAND where a failed
   /// program still consumes the page.
-  Status ProgramPage(SimTime now, Ppn ppn, Slice data, SimTime* done);
+  Status ProgramPage(SimTime now, Ppn ppn, Slice data, SimTime* done,
+                     SimTime* start = nullptr);
+
+  /// Two-plane program (Sec. 2.3 chip-level interleaving): programs one page
+  /// on each of two sibling planes of the same chip with a single command.
+  /// Both page transfers serialize on the channel, then both planes program
+  /// concurrently and share one completion time. Page constraints are checked
+  /// per page before anything is charged. Injected program failures are
+  /// rolled per page (`failed[i]`); the command returns IoError when either
+  /// page failed, and the caller re-drives the failed page(s) individually.
+  Status ProgramPagesMultiPlane(SimTime now, Ppn ppn0, Ppn ppn1, Slice data0,
+                                Slice data1, SimTime* done, SimTime* start,
+                                bool failed[2]);
+
+  /// Earliest time the plane can accept a new operation, including its
+  /// channel: max(plane busy_until, channel busy_until).
+  SimTime plane_ready_time(uint32_t plane) const;
+  SimTime channel_busy_until(uint32_t channel) const {
+    return channel_busy_[channel];
+  }
+  uint32_t ChannelOfPlane(uint32_t plane) const;
+
+  /// Least-busy plane chooser for idle-aware allocation: returns the first
+  /// cell-idle plane scanning round-robin from an internal cursor (transfer
+  /// occupancy on the channel is ignored — it is two orders of magnitude
+  /// cheaper than tPROG and skipping over it de-stripes allocation), or the
+  /// plane with the minimal ready time (plane AND channel availability)
+  /// when every plane is programming. The cursor keeps allocation
+  /// deterministic and striped when everything is idle.
+  /// `group` > 1 picks the first plane of the best aligned group of
+  /// consecutive planes (e.g. group=2 chooses a chip for a multi-plane
+  /// program); the group's ready time is the max over its members.
+  uint32_t NextIdlePlane(SimTime now, uint32_t group = 1);
 
   /// Erases a whole block, returning all its pages to kFree. `done` (if
   /// non-null) receives the completion time.
@@ -130,6 +164,7 @@ class FlashArray {
   struct Stats {
     uint64_t reads = 0;
     uint64_t programs = 0;
+    uint64_t multi_plane_programs = 0;  ///< Two-plane commands (2 pages each).
     uint64_t erases = 0;
     uint64_t torn_pages = 0;
     uint64_t program_fails = 0;  ///< Injected page-program failures.
@@ -169,6 +204,14 @@ class FlashArray {
   }
   /// Reserves the channel for one page transfer starting no earlier than t.
   SimTime ReserveChannel(uint32_t channel, SimTime t);
+  /// Shared validation for ProgramPage / ProgramPagesMultiPlane: NAND
+  /// constraints that must hold before any time is charged.
+  Status CheckProgrammable(Ppn ppn, Slice data) const;
+  /// Commits one programmed page (fault roll, state/data update, in-flight
+  /// record) given its program window. Returns false on an injected
+  /// program failure.
+  bool CommitProgram(Ppn ppn, Slice data, SimTime prog_start,
+                     SimTime prog_done);
   void PruneInFlight(SimTime now);
   /// Shared tail of EraseBlock-failure and RetireBlock: poisons every page
   /// and takes the block out of service.
@@ -182,6 +225,8 @@ class FlashArray {
   std::unordered_map<Ppn, std::string> data_;
   std::vector<InFlightProgram> inflight_programs_;
   std::vector<InFlightErase> inflight_erases_;
+  /// Round-robin tie-break cursor for NextIdlePlane.
+  uint32_t alloc_cursor_ = 0;
   SimTime max_seen_time_ = 0;
   Stats stats_;
   FaultInjector faults_;

@@ -1,0 +1,89 @@
+#include "ssd/destage_scheduler.h"
+
+#include <algorithm>
+
+namespace durassd {
+
+bool DestageScheduler::Add(Lpn lpn, SimTime now) {
+  last_add_time_ = now;
+  if (!pending_.insert(lpn).second) {
+    return false;  // Absorbed: already pending, bytes refreshed in place.
+  }
+  fifo_.push_back(lpn);
+  return true;
+}
+
+void DestageScheduler::Clear() {
+  fifo_.clear();
+  pending_.clear();
+}
+
+void DestageScheduler::CompactFifo() {
+  if (fifo_.size() <= 2 * pending_.size() + 64) return;
+  std::deque<Lpn> live;
+  for (Lpn lpn : fifo_) {
+    if (pending_.count(lpn) != 0) live.push_back(lpn);
+  }
+  fifo_ = std::move(live);
+}
+
+Status DestageScheduler::DrainRound(SimTime t, size_t max_pages) {
+  if (max_pages == 0) max_pages = opts_.batch_pages;
+  return Drain(t, max_pages, /*include_partial=*/false);
+}
+
+Status DestageScheduler::DrainAll(SimTime t) {
+  while (!pending_.empty()) {
+    DURASSD_RETURN_IF_ERROR(
+        Drain(t, opts_.batch_pages, /*include_partial=*/true));
+  }
+  return Status::OK();
+}
+
+Status DestageScheduler::Drain(SimTime t, size_t max_pages,
+                               bool include_partial) {
+  CompactFifo();
+
+  // Pair pending sectors into pages in arrival order. Stale fifo entries
+  // (absorbed or removed since) are skipped; each group is removed from
+  // pending_ only once its program was issued, so a failed issue leaves
+  // the remainder queued for a later retry.
+  std::vector<std::vector<Lpn>> groups;
+  std::vector<Lpn> group;
+  std::unordered_set<Lpn> staged;
+  for (Lpn lpn : fifo_) {
+    if (groups.size() == max_pages) break;
+    if (pending_.count(lpn) == 0 || staged.count(lpn) != 0) continue;
+    staged.insert(lpn);
+    group.push_back(lpn);
+    if (group.size() == opts_.sectors_per_page) {
+      groups.push_back(std::move(group));
+      group.clear();
+    }
+  }
+  if (include_partial && !group.empty() && groups.size() < max_pages) {
+    groups.push_back(std::move(group));
+  }
+
+  size_t i = 0;
+  while (i < groups.size()) {
+    const bool full_pair =
+        opts_.multi_plane && i + 1 < groups.size() &&
+        groups[i].size() == opts_.sectors_per_page &&
+        groups[i + 1].size() == opts_.sectors_per_page;
+    if (full_pair) {
+      DURASSD_RETURN_IF_ERROR(
+          sink_->DestagePagePair(t, groups[i], groups[i + 1]));
+      for (Lpn lpn : groups[i]) pending_.erase(lpn);
+      for (Lpn lpn : groups[i + 1]) pending_.erase(lpn);
+      i += 2;
+    } else {
+      DURASSD_RETURN_IF_ERROR(sink_->DestagePage(t, groups[i]));
+      for (Lpn lpn : groups[i]) pending_.erase(lpn);
+      i += 1;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace durassd

@@ -80,13 +80,14 @@ StatusOr<Ppn> Ftl::AllocatePage(SimTime now, uint32_t plane_idx, bool for_gc) {
 }
 
 StatusOr<Ppn> Ftl::AllocateAndProgram(SimTime now, uint32_t plane_idx,
-                                      bool for_gc, Slice data, SimTime* done) {
+                                      bool for_gc, Slice data, SimTime* done,
+                                      SimTime* start) {
   const FlashGeometry& g = flash_->geometry();
   for (uint32_t attempt = 0; attempt <= opts_.program_retry_limit; ++attempt) {
     StatusOr<Ppn> ppn_or = AllocatePage(now, plane_idx, for_gc);
     if (!ppn_or.ok()) return ppn_or;
     const Ppn ppn = *ppn_or;
-    Status st = flash_->ProgramPage(now, ppn, data, done);
+    Status st = flash_->ProgramPage(now, ppn, data, done, start);
     if (st.ok()) return ppn;
     if (!st.IsIoError()) return st;
     // The die reported program failure. Close the block, queue it for
@@ -122,10 +123,7 @@ Status Ftl::ReadPageChecked(SimTime now, Ppn ppn, std::string* page,
 }
 
 bool Ftl::IsRetirePending(uint32_t plane, uint32_t block) const {
-  for (const auto& [p, b] : retire_pending_) {
-    if (p == plane && b == block) return true;
-  }
-  return false;
+  return retire_pending_set_.count(RetireKey(plane, block)) != 0;
 }
 
 void Ftl::QueueRetirement(uint32_t plane_idx, uint32_t block) {
@@ -138,6 +136,7 @@ void Ftl::QueueRetirement(uint32_t plane_idx, uint32_t block) {
   if (flash_->is_bad_block(plane_idx, block)) return;
   if (IsRetirePending(plane_idx, block)) return;
   retire_pending_.emplace_back(plane_idx, block);
+  retire_pending_set_.insert(RetireKey(plane_idx, block));
 }
 
 void Ftl::DrainRetirements(SimTime now) {
@@ -146,11 +145,13 @@ void Ftl::DrainRetirements(SimTime now) {
   while (!retire_pending_.empty()) {
     const auto [plane, block] = retire_pending_.back();
     retire_pending_.pop_back();
+    retire_pending_set_.erase(RetireKey(plane, block));
     Status st = RelocateLiveSectors(now, plane, block);
     if (!st.ok()) {
       // Could not move the live data out. Leave the block pending: it is
       // excluded from allocation and GC, and its pages stay readable.
       retire_pending_.emplace_back(plane, block);
+      retire_pending_set_.insert(RetireKey(plane, block));
       if (st.IsOutOfSpace()) {
         // No healthy destination exists for the live data, and none will
         // appear — the device can no longer guarantee writes.
@@ -189,21 +190,20 @@ void Ftl::KillSlot(uint64_t packed) {
   if (!any_live) flash_->MarkInvalid(ppn);
 }
 
-void Ftl::RecordDelta(Lpn lpn, SimTime start, SimTime done) {
+void Ftl::RecordDelta(Lpn lpn, SimTime issue, SimTime start, SimTime done) {
   auto it = delta_.find(lpn);
   if (it == delta_.end()) {
     auto mit = map_.find(lpn);
     const uint64_t old_packed = mit == map_.end() ? kUnmapped : mit->second;
-    delta_.emplace(lpn, DeltaRec{old_packed, start, done});
+    delta_.emplace(lpn, DeltaRec{old_packed, issue, start, done});
   } else {
+    it->second.last_issue = issue;
     it->second.last_start = start;
     it->second.last_done = done;
   }
 }
 
-Status Ftl::ProgramSectors(SimTime now,
-                           const std::vector<SectorWrite>& sectors,
-                           SimTime* start, SimTime* done) {
+Status Ftl::ValidateSectors(const std::vector<SectorWrite>& sectors) {
   if (sectors.empty() || sectors.size() > sectors_per_page_) {
     return Status::InvalidArgument("bad sector count for one program");
   }
@@ -222,23 +222,49 @@ Status Ftl::ProgramSectors(SimTime now,
       return Status::InvalidArgument("sector data size mismatch");
     }
   }
+  return Status::OK();
+}
 
-  const uint32_t plane_idx = rr_plane_;
-  rr_plane_ = (rr_plane_ + 1) % planes_.size();
+uint32_t Ftl::PickPlane(SimTime now, uint32_t group) {
+  if (opts_.idle_aware_allocation) {
+    return flash_->NextIdlePlane(now, group);
+  }
+  // Legacy blind round-robin; group > 1 aligns down to the group boundary.
+  const uint32_t plane_idx = (rr_plane_ / group) * group;
+  rr_plane_ = (plane_idx + group) % static_cast<uint32_t>(planes_.size());
+  return plane_idx;
+}
 
-  // Assemble the physical page: live sectors first, rest stays erased.
+namespace {
+/// Concatenates a batch's sector payloads into one physical-page image
+/// (live sectors first, rest stays erased). Empty in timing-only mode.
+std::string AssemblePage(const std::vector<Ftl::SectorWrite>& sectors,
+                         uint32_t page_size) {
   std::string page_data;
-  if (have_data) {
-    page_data.reserve(flash_->geometry().page_size);
-    for (const SectorWrite& s : sectors) {
+  if (sectors[0].data != nullptr) {
+    page_data.reserve(page_size);
+    for (const Ftl::SectorWrite& s : sectors) {
       page_data.append(*s.data);
     }
   }
+  return page_data;
+}
+}  // namespace
+
+Status Ftl::ProgramSectors(SimTime now,
+                           const std::vector<SectorWrite>& sectors,
+                           SimTime* start, SimTime* done) {
+  DURASSD_RETURN_IF_ERROR(ValidateSectors(sectors));
+
+  const uint32_t plane_idx = PickPlane(now);
+  const std::string page_data =
+      AssemblePage(sectors, flash_->geometry().page_size);
 
   SimTime prog_done = 0;
+  SimTime prog_start = now;
   StatusOr<Ppn> ppn_or =
       AllocateAndProgram(now, plane_idx, /*for_gc=*/false, page_data,
-                         &prog_done);
+                         &prog_done, &prog_start);
   if (!ppn_or.ok()) {
     const Status& st = ppn_or.status();
     if (st.IsOutOfSpace()) {
@@ -257,14 +283,13 @@ Status Ftl::ProgramSectors(SimTime now,
   const Ppn ppn = *ppn_or;
   stats_.host_programs++;
   if (h_program_ns_ != nullptr) h_program_ns_->Record(prog_done - now);
-  // ProgramPage's completion includes channel wait; its start is what the
-  // torn-write model keys on. Recompute conservatively as now (transfer
-  // begins immediately); the flash layer tracks the precise program window.
-  const SimTime prog_start = now;
+  // prog_start is the true cell-program start reported by the flash layer —
+  // after the channel transfer and any wait for a busy plane — which is
+  // what the torn-write model keys on.
 
   for (uint32_t slot = 0; slot < sectors.size(); ++slot) {
     const Lpn lpn = sectors[slot].lpn;
-    RecordDelta(lpn, prog_start, prog_done);
+    RecordDelta(lpn, now, prog_start, prog_done);
     auto it = map_.find(lpn);
     if (it != map_.end()) KillSlot(it->second);
     map_[lpn] = Pack(ppn, slot);
@@ -277,6 +302,136 @@ Status Ftl::ProgramSectors(SimTime now,
 
   *start = prog_start;
   *done = prog_done;
+  return Status::OK();
+}
+
+Status Ftl::ProgramSectorsMultiPlane(SimTime now,
+                                     const std::vector<SectorWrite>& a,
+                                     const std::vector<SectorWrite>& b,
+                                     SimTime* start, SimTime* done) {
+  DURASSD_RETURN_IF_ERROR(ValidateSectors(a));
+  DURASSD_RETURN_IF_ERROR(ValidateSectors(b));
+  const FlashGeometry& g = flash_->geometry();
+  if (g.planes_per_chip < 2) {
+    return Status::InvalidArgument("geometry has no sibling planes");
+  }
+
+  const uint32_t plane0 = PickPlane(now, g.planes_per_chip);
+  const uint32_t plane1 = plane0 + 1;
+  const std::string data0 = AssemblePage(a, g.page_size);
+  const std::string data1 = AssemblePage(b, g.page_size);
+
+  // Allocate both pages up front. If the sibling allocation fails, the
+  // first plane's page was reserved but never programmed — roll its
+  // allocation cursor back so the FTL and flash in-order cursors agree.
+  StatusOr<Ppn> p0_or = AllocatePage(now, plane0, /*for_gc=*/false);
+  if (!p0_or.ok()) {
+    const Status& st = p0_or.status();
+    if (st.IsOutOfSpace()) {
+      EnterDegraded(now, plane0, st.message());
+      stats_.degraded_rejects++;
+      return Status::ResourceExhausted("device is read-only: " +
+                                       st.message());
+    }
+    return st;
+  }
+  StatusOr<Ppn> p1_or = AllocatePage(now, plane1, /*for_gc=*/false);
+  if (!p1_or.ok()) {
+    planes_[plane0].next_page--;
+    const Status& st = p1_or.status();
+    if (st.IsOutOfSpace()) {
+      EnterDegraded(now, plane1, st.message());
+      stats_.degraded_rejects++;
+      return Status::ResourceExhausted("device is read-only: " +
+                                       st.message());
+    }
+    return st;
+  }
+
+  Ppn ppn0 = *p0_or;
+  Ppn ppn1 = *p1_or;
+  bool failed[2] = {false, false};
+  SimTime mp_start = now;
+  SimTime mp_done = now;
+  Status st = flash_->ProgramPagesMultiPlane(now, ppn0, ppn1, data0, data1,
+                                             &mp_done, &mp_start, failed);
+  SimTime start0 = mp_start, done0 = mp_done;
+  SimTime start1 = mp_start, done1 = mp_done;
+  if (!st.ok()) {
+    if (!st.IsIoError()) return st;
+    // The die reported program failure on one (or both) pages. Queue the
+    // failed block(s) for retirement and re-drive each failed page as a
+    // single-plane program on its own plane; the sibling that succeeded
+    // keeps its data.
+    if (failed[0]) {
+      stats_.program_retries++;
+      QueueRetirement(plane0, g.BlockOf(ppn0));
+    }
+    if (failed[1]) {
+      stats_.program_retries++;
+      QueueRetirement(plane1, g.BlockOf(ppn1));
+    }
+    Status redrive = Status::OK();
+    if (failed[0]) {
+      StatusOr<Ppn> re = AllocateAndProgram(mp_done, plane0, /*for_gc=*/false,
+                                            data0, &done0, &start0);
+      if (re.ok()) {
+        ppn0 = *re;
+      } else {
+        redrive = re.status();
+      }
+    }
+    if (redrive.ok() && failed[1]) {
+      StatusOr<Ppn> re = AllocateAndProgram(mp_done, plane1, /*for_gc=*/false,
+                                            data1, &done1, &start1);
+      if (re.ok()) {
+        ppn1 = *re;
+      } else {
+        redrive = re.status();
+      }
+    }
+    if (!redrive.ok()) {
+      // One page could not be placed anywhere. No mapping was updated, so
+      // the caller may re-issue both batches; orphan any page that did
+      // program so GC reclaims it.
+      if (!failed[0] || ppn0 != *p0_or) flash_->MarkInvalid(ppn0);
+      if (!failed[1]) flash_->MarkInvalid(ppn1);
+      if (redrive.IsOutOfSpace()) {
+        EnterDegraded(now, failed[0] ? plane0 : plane1, redrive.message());
+        stats_.degraded_rejects++;
+        return Status::ResourceExhausted("device is read-only: " +
+                                         redrive.message());
+      }
+      return redrive;
+    }
+  }
+
+  stats_.host_programs += 2;
+  if (h_program_ns_ != nullptr) {
+    h_program_ns_->Record(done0 - now);
+    h_program_ns_->Record(done1 - now);
+  }
+
+  const std::vector<SectorWrite>* batches[2] = {&a, &b};
+  const Ppn ppns[2] = {ppn0, ppn1};
+  const SimTime starts[2] = {start0, start1};
+  const SimTime dones[2] = {done0, done1};
+  for (int i = 0; i < 2; ++i) {
+    const std::vector<SectorWrite>& sectors = *batches[i];
+    for (uint32_t slot = 0; slot < sectors.size(); ++slot) {
+      const Lpn lpn = sectors[slot].lpn;
+      RecordDelta(lpn, now, starts[i], dones[i]);
+      auto it = map_.find(lpn);
+      if (it != map_.end()) KillSlot(it->second);
+      map_[lpn] = Pack(ppns[i], slot);
+      reverse_[ppns[i] * sectors_per_page_ + slot] = lpn;
+    }
+  }
+
+  DrainRetirements(now);
+
+  *start = std::min(start0, start1);
+  *done = std::max(done0, done1);
   return Status::OK();
 }
 
@@ -457,9 +612,12 @@ std::vector<Lpn> Ftl::DirtyMappingLpns() const {
   return out;
 }
 
-void Ftl::PowerCutRollback(SimTime t, bool expose_started_programs) {
+void Ftl::PowerCutRollback(SimTime t, PowerCutExposure exposure) {
   for (auto& [lpn, rec] : delta_) {
-    if (expose_started_programs && rec.last_start <= t) {
+    const SimTime kept_from = exposure == PowerCutExposure::kIssued
+                                  ? rec.last_issue
+                                  : rec.last_start;
+    if (exposure != PowerCutExposure::kNone && kept_from <= t) {
       // The mapping journal had already recorded this entry when the
       // program was issued: the (possibly torn) new page stays visible.
       continue;

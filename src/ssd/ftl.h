@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -42,6 +43,10 @@ class Ftl {
     uint32_t read_retry_limit = 4;
     /// Fresh pages tried when a program reports failure before giving up.
     uint32_t program_retry_limit = 3;
+    /// Pick the least-busy plane (plane busy_until + channel occupancy,
+    /// via FlashArray::NextIdlePlane) for each host program instead of
+    /// blind round-robin. false = legacy round-robin (A/B baseline).
+    bool idle_aware_allocation = false;
     /// Owner's metrics registry; the FTL registers its own metrics under
     /// the "ftl." prefix. May be null (no metrics collected).
     MetricsRegistry* metrics = nullptr;
@@ -83,6 +88,20 @@ class Ftl {
   Status ProgramSectors(SimTime now, const std::vector<SectorWrite>& sectors,
                         SimTime* start, SimTime* done);
 
+  /// Programs two pages with one multi-plane command on the two sibling
+  /// planes of the least-busy chip (Sec. 2.3 chip-level interleaving): both
+  /// transfers serialize on the channel, then both planes program
+  /// concurrently. `a` and `b` each follow ProgramSectors' contract. On an
+  /// injected program failure the failed page is transparently re-driven as
+  /// a single-plane program; mapping updates happen only once every sector
+  /// has landed, so a hard failure leaves the mapping untouched. `start` /
+  /// `done` receive the union program window. Requires a geometry with at
+  /// least two planes per chip.
+  Status ProgramSectorsMultiPlane(SimTime now,
+                                  const std::vector<SectorWrite>& a,
+                                  const std::vector<SectorWrite>& b,
+                                  SimTime* start, SimTime* done);
+
   /// Reads one logical sector. Unmapped sectors read as zeros with zero
   /// media cost beyond the firmware's map lookup. `done`, if non-null,
   /// receives the virtual completion time (including any ECC read-retries).
@@ -100,10 +119,23 @@ class Ftl {
   /// Marks everything persisted (called when a FLUSH CACHE completes, or
   /// after a successful durable-cache dump replay).
   void PersistMapping();
-  /// Volatile-device power cut: entries in the delta roll back to their
-  /// persisted value. When `expose_started_programs` is set, entries whose
-  /// program had begun by `t` keep the new (possibly torn) mapping instead.
-  void PowerCutRollback(SimTime t, bool expose_started_programs);
+  /// Which unpersisted mapping entries survive a power cut at `t`.
+  enum class PowerCutExposure {
+    /// Every delta entry rolls back to its persisted value (lost writes).
+    kNone,
+    /// Entries whose program was *issued* by `t` keep the new mapping: the
+    /// durable-cache model, where capacitor power runs every issued NAND
+    /// operation to completion (Sec. 3.4.1).
+    kIssued,
+    /// Entries whose cell program had *started* by `t` keep the new
+    /// (possibly torn) mapping: the commodity-SSD model that exposes torn
+    /// writes (FAST'13). Programs issued but not yet started by `t` roll
+    /// back, matching FlashArray::PowerCut returning those pages to kFree.
+    kStarted,
+  };
+  /// Power cut at `t`: entries in the delta roll back to their persisted
+  /// value except those `exposure` keeps.
+  void PowerCutRollback(SimTime t, PowerCutExposure exposure);
   /// LPNs with unpersisted mapping entries (dump sizing on DuraSSD).
   std::vector<Lpn> DirtyMappingLpns() const;
 
@@ -155,7 +187,8 @@ class Ftl {
   };
   struct DeltaRec {
     uint64_t old_packed;  ///< Persisted value (kUnmapped if none).
-    SimTime last_start;   ///< Start of the most recent program for this LPN.
+    SimTime last_issue;   ///< Issue time of the most recent program.
+    SimTime last_start;   ///< True cell-program start (after channel wait).
     SimTime last_done;
   };
 
@@ -173,7 +206,15 @@ class Ftl {
   /// reports failure closes the block, queues it for retirement, and tries
   /// again on a fresh page (up to program_retry_limit times).
   StatusOr<Ppn> AllocateAndProgram(SimTime now, uint32_t plane, bool for_gc,
-                                   Slice data, SimTime* done);
+                                   Slice data, SimTime* done,
+                                   SimTime* start = nullptr);
+  /// Plane chooser for host programs: idle-aware (least-busy plane with
+  /// round-robin tie-break) or legacy blind round-robin per Options.
+  /// `group` > 1 returns the first plane of an aligned group (multi-plane).
+  uint32_t PickPlane(SimTime now, uint32_t group = 1);
+  /// Validates one ProgramSectors batch (count, lpn range, data sizes) and
+  /// rejects when degraded.
+  Status ValidateSectors(const std::vector<SectorWrite>& sectors);
   /// Reads a full physical page through the ECC model: up to
   /// read_retry_limit re-reads while the raw error count exceeds
   /// ecc_correctable_bits, then kCorruption (with the bit flips
@@ -193,7 +234,7 @@ class Ftl {
   void DrainRetirements(SimTime now);
   bool IsRetirePending(uint32_t plane, uint32_t block) const;
   void KillSlot(uint64_t packed);
-  void RecordDelta(Lpn lpn, SimTime start, SimTime done);
+  void RecordDelta(Lpn lpn, SimTime issue, SimTime start, SimTime done);
   /// Flips the sticky degraded flag (idempotent) and emits the trace event
   /// and metrics counter for the transition.
   void EnterDegraded(SimTime now, uint32_t plane, std::string reason);
@@ -208,8 +249,15 @@ class Ftl {
   uint32_t first_dump_block_;
   /// Dump pages in program order; shrinks when a dump block goes bad.
   std::vector<Ppn> dump_ppns_;
-  /// Blocks awaiting retirement after a program failure.
+  static uint64_t RetireKey(uint32_t plane, uint32_t block) {
+    return (static_cast<uint64_t>(plane) << 32) | block;
+  }
+
+  /// Blocks awaiting retirement after a program failure. The vector is the
+  /// ordered worklist; the set mirrors it for O(1) IsRetirePending (which
+  /// runs once per program retry and per GC victim candidate).
   std::vector<std::pair<uint32_t, uint32_t>> retire_pending_;
+  std::unordered_set<uint64_t> retire_pending_set_;
 
   std::unordered_map<Lpn, uint64_t> map_;
   /// Reverse map: which LPN lives in each (ppn, slot); kInvalidLpn = dead.

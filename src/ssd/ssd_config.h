@@ -47,6 +47,27 @@ struct SsdConfig {
   /// megabytes", Sec. 3.1). The dump must fit or recovery is incomplete.
   uint64_t capacitor_budget_bytes = 64 * kMiB;
 
+  // --- Destage scheduler (Sec. 3.1.1: lazy destage fills every pipeline) ---
+  /// Pages per drain round the scheduler may issue (up to one page per
+  /// plane per round). 1 = legacy eager destage: every write programs NAND
+  /// synchronously at acknowledgement, exactly the pre-scheduler path (A/B
+  /// baseline). >1 = lazy batching: dirty sectors accumulate in the write
+  /// buffer and drain on frame pressure, FLUSH, power-cut dump, or the idle
+  /// threshold.
+  uint32_t destage_batch_pages = 256;
+  /// Pair two full pages onto sibling planes of one chip as a single
+  /// multi-plane program command (chip-level interleaving, Sec. 2.3).
+  /// Only takes effect in lazy mode (destage_batch_pages > 1).
+  bool multi_plane_program = true;
+  /// Choose the least-busy plane (plane busy_until + channel occupancy) for
+  /// each destage program instead of blind round-robin. Round-robin remains
+  /// the tie-break so allocation stays deterministic and striped. false =
+  /// legacy blind round-robin.
+  bool idle_aware_allocation = true;
+  /// Lazy mode: dirty sectors older than this are destaged when the next
+  /// host command arrives (the device exploits its own idle time).
+  SimTime destage_idle_ns = 1 * kMillisecond;
+
   // --- Host interface & firmware timing ---
   /// SATA 3.0-class bus.
   double bus_write_bytes_per_ns = 0.60;  ///< ~600 MB/s effective.

@@ -16,8 +16,28 @@ constexpr SimTime kCleanBootTime = 1 * kMillisecond;
 constexpr SimTime kVolatileRecoveryScan = 50 * kMillisecond;
 }  // namespace
 
+SsdConfig SsdDevice::SizeDumpArea(SsdConfig cfg) {
+  if (!cfg.cache_enabled || cfg.destage_batch_pages <= 1 ||
+      !cfg.durable_cache) {
+    return cfg;  // Eager mode: the configured dump area is authoritative.
+  }
+  // Lazy destage widens the dump-eligible window: in the worst case every
+  // write-buffer frame holds an acknowledged-but-unissued sector, and each
+  // needs its own dump page (plus the header). Grow the reserved area to
+  // cover that; the eager path never needed more than the in-flight window.
+  const FlashGeometry& g = cfg.geometry;
+  const uint64_t pages_per_dump_block =
+      static_cast<uint64_t>(g.pages_per_block) * g.total_planes();
+  const uint64_t needed_pages = static_cast<uint64_t>(cfg.write_buffer_sectors) + 2;
+  const uint32_t needed_blocks = static_cast<uint32_t>(
+      (needed_pages + pages_per_dump_block - 1) / pages_per_dump_block);
+  cfg.dump_blocks_per_plane =
+      std::max(cfg.dump_blocks_per_plane, needed_blocks);
+  return cfg;
+}
+
 SsdDevice::SsdDevice(SsdConfig config)
-    : cfg_(std::move(config)),
+    : cfg_(SizeDumpArea(std::move(config))),
       flash_(FlashArray::Options{cfg_.geometry, cfg_.store_data, cfg_.faults}),
       ftl_(&flash_, Ftl::Options{cfg_.sector_size, cfg_.over_provision,
                                  cfg_.gc_free_block_threshold,
@@ -25,10 +45,17 @@ SsdDevice::SsdDevice(SsdConfig config)
                                  cfg_.ecc_correctable_bits,
                                  cfg_.read_retry_limit,
                                  cfg_.program_retry_limit,
+                                 cfg_.idle_aware_allocation,
                                  &metrics_}),
       bus_(1),
       fw_(cfg_.fw_parallelism),
       ncq_(cfg_.ncq_depth),
+      scheduler_(this,
+                 DestageScheduler::Options{
+                     cfg_.geometry.page_size / cfg_.sector_size,
+                     cfg_.destage_batch_pages,
+                     cfg_.multi_plane_program &&
+                         cfg_.geometry.planes_per_chip >= 2}),
       h_ncq_wait_ns_(metrics_.GetHistogram("ssd.ncq_wait_ns")),
       h_bus_ns_(metrics_.GetHistogram("ssd.bus_ns")),
       h_fw_ns_(metrics_.GetHistogram("ssd.fw_ns")),
@@ -36,6 +63,7 @@ SsdDevice::SsdDevice(SsdConfig config)
       h_destage_ns_(metrics_.GetHistogram("ssd.destage_ns")),
       h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")),
       c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")),
+      c_destage_absorbed_(metrics_.Counter("ssd.destage_absorbed")),
       h_qd_(metrics_.GetHistogram("ssd.qd")) {
   set_qd_histogram(h_qd_);
   set_queue_depth_limit(cfg_.host_queue_depth);
@@ -84,9 +112,15 @@ void SsdDevice::RollbackCommandEntries(Lpn lpn, uint32_t nsec, SimTime ack) {
       e.ack = e.prev_ack;
       e.seq = e.prev_seq;
       e.has_prev = false;
+      e.program_issue = kNeverProgrammed;
       e.program_start = 0;
       e.program_done = kNeverProgrammed;
+      // The restored version must reach NAND (again): re-queue it. If the
+      // failed overwrite had been absorbed, the pending slot simply keeps
+      // pointing at the now-restored bytes.
+      if (UseScheduler()) scheduler_.Add(lpn + i, e.ack);
     } else {
+      if (UseScheduler()) scheduler_.Remove(lpn + i);
       cache_.erase(it);
     }
   }
@@ -110,21 +144,65 @@ SimTime SsdDevice::AcquireFrame(SimTime t) {
   while (!outstanding_.empty() && outstanding_.top() <= t) {
     outstanding_.pop();
   }
-  if (outstanding_.size() >= cfg_.write_buffer_sectors) {
-    const SimTime freed = outstanding_.top();
-    outstanding_.pop();
-    stats_.write_stalls++;
-    stats_.write_stall_time += freed - t;
-    h_frame_stall_ns_->Record(freed - t);
-    return freed;
+  // Frames are held by in-flight programs and, in lazy mode, by pending
+  // scheduler sectors (absorbed rewrites re-use their frame and never
+  // reach here).
+  const size_t in_use =
+      outstanding_.size() +
+      (UseScheduler() ? scheduler_.pending_sectors() : 0);
+  if (in_use >= cfg_.write_buffer_sectors) {
+    // Frame pressure. Draining moves sectors from pending to outstanding —
+    // the sum (and thus the pressure) is unchanged until a program_done
+    // passes — so drain only while the media has a free slot: once one
+    // page per plane is in flight the media is saturated and further
+    // programs would only queue at the planes while forfeiting their
+    // chance to absorb a rewrite. Only full pages drain — a partial tail
+    // stays pending to pair with future writes. A drain failure leaves
+    // sectors pending; the degraded checks on the command path surface it.
+    const size_t media_slots = static_cast<size_t>(
+        cfg_.geometry.total_planes() * ftl_.sectors_per_page());
+    if (UseScheduler() && scheduler_.pending_full_pages() > 0 &&
+        outstanding_.size() < media_slots) {
+      stats_.destage_batches++;
+      if (tracer_) {
+        tracer_->Record(t, TraceEventType::kDestageBatch,
+                        scheduler_.pending_sectors(), 2);
+      }
+      (void)scheduler_.DrainRound(t, cfg_.geometry.total_planes());
+      while (!outstanding_.empty() && outstanding_.top() <= t) {
+        outstanding_.pop();
+      }
+    }
+    if (outstanding_.empty() && UseScheduler() && !scheduler_.empty()) {
+      // Nothing in flight to wait on and the buffer is all pending partial
+      // pages (tiny buffers): force them out, half-filled or not.
+      stats_.destage_batches++;
+      if (tracer_) {
+        tracer_->Record(t, TraceEventType::kDestageBatch,
+                        scheduler_.pending_sectors(), 2);
+      }
+      (void)scheduler_.DrainAll(t);
+      while (!outstanding_.empty() && outstanding_.top() <= t) {
+        outstanding_.pop();
+      }
+    }
+    if (!outstanding_.empty()) {
+      const SimTime freed = outstanding_.top();
+      outstanding_.pop();
+      stats_.write_stalls++;
+      stats_.write_stall_time += freed - t;
+      h_frame_stall_ns_->Record(freed - t);
+      return freed;
+    }
   }
   return t;
 }
 
 void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack,
                                  uint64_t seq) {
-  CacheEntry& e = cache_[lpn];
-  if (e.ack != 0 || !e.data.empty()) {
+  const auto [it, inserted] = cache_.try_emplace(lpn);
+  CacheEntry& e = it->second;
+  if (!inserted) {
     // Coalesce: keep the displaced acknowledged version for the incomplete-
     // overwrite rollback corner (Sec. 3.2's "old copies are discarded",
     // with one-deep history for atomicity of the in-flight command).
@@ -138,9 +216,12 @@ void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack,
   }
   e.ack = ack;
   e.seq = seq;
+  e.program_issue = kNeverProgrammed;
   e.program_start = 0;
   e.program_done = kNeverProgrammed;
-  cache_fifo_.push_back(lpn);
+  // A resident entry keeps its FIFO slot: pushing again would bloat the
+  // FIFO with one stale duplicate per hot-sector rewrite.
+  if (inserted) cache_fifo_.push_back(lpn);
   EvictCleanIfNeeded();
 }
 
@@ -162,6 +243,17 @@ void SsdDevice::EvictCleanIfNeeded() {
   }
 }
 
+void SsdDevice::FinishDestage(const std::vector<Lpn>& group, SimTime issue,
+                              SimTime start, SimTime done) {
+  for (Lpn lpn : group) {
+    CacheEntry& e = cache_[lpn];
+    e.program_issue = issue;
+    e.program_start = start;
+    e.program_done = done;
+    outstanding_.push(done);
+  }
+}
+
 Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
   std::vector<Ftl::SectorWrite> writes;
   writes.reserve(group.size());
@@ -178,13 +270,70 @@ Status SsdDevice::DestageGroup(SimTime t, const std::vector<Lpn>& group) {
   if (tracer_) {
     tracer_->Record(done, TraceEventType::kDestageDone, group[0], group.size());
   }
-  for (Lpn lpn : group) {
-    CacheEntry& e = cache_[lpn];
-    e.program_start = start;
-    e.program_done = done;
-    outstanding_.push(done);
-  }
+  FinishDestage(group, t, start, done);
   return Status::OK();
+}
+
+SimTime SsdDevice::ClampToAcks(SimTime t, const std::vector<Lpn>& group) const {
+  // A sector's NAND program may never be issued before its command was
+  // acknowledged: the eager path issued exactly at the ack, and the crash
+  // semantics lean on issue >= ack (a kept mapping after the capacitor
+  // quiesce implies the command was acked before the cut, so a partially
+  // issued command can never read back torn).
+  for (Lpn lpn : group) {
+    auto it = cache_.find(lpn);
+    if (it != cache_.end()) t = std::max(t, it->second.ack);
+  }
+  return t;
+}
+
+Status SsdDevice::DestagePage(SimTime t, const std::vector<Lpn>& group) {
+  return DestageGroup(ClampToAcks(t, group), group);
+}
+
+Status SsdDevice::DestagePagePair(SimTime t, const std::vector<Lpn>& a,
+                                  const std::vector<Lpn>& b) {
+  t = std::max(ClampToAcks(t, a), ClampToAcks(t, b));
+  std::vector<Ftl::SectorWrite> wa, wb;
+  wa.reserve(a.size());
+  wb.reserve(b.size());
+  for (Lpn lpn : a) {
+    auto it = cache_.find(lpn);
+    assert(it != cache_.end());
+    wa.push_back({lpn, cfg_.store_data ? &it->second.data : nullptr});
+  }
+  for (Lpn lpn : b) {
+    auto it = cache_.find(lpn);
+    assert(it != cache_.end());
+    wb.push_back({lpn, cfg_.store_data ? &it->second.data : nullptr});
+  }
+  SimTime start = 0;
+  SimTime done = 0;
+  DURASSD_RETURN_IF_ERROR(
+      ftl_.ProgramSectorsMultiPlane(t, wa, wb, &start, &done));
+  h_destage_ns_->Record(done - t);
+  if (tracer_) {
+    tracer_->Record(done, TraceEventType::kDestageDone, a[0],
+                    a.size() + b.size());
+  }
+  FinishDestage(a, t, start, done);
+  FinishDestage(b, t, start, done);
+  return Status::OK();
+}
+
+void SsdDevice::MaybeIdleDrain(SimTime now) {
+  if (!UseScheduler() || scheduler_.empty()) return;
+  const SimTime deadline = scheduler_.last_add_time() + cfg_.destage_idle_ns;
+  if (now < deadline) return;
+  // The device used its own idle time: the drain is issued at the idle
+  // deadline, which is causally safe (every pending byte was cached by
+  // then) and models destage having happened before this command arrived.
+  stats_.destage_batches++;
+  if (tracer_) {
+    tracer_->Record(deadline, TraceEventType::kDestageBatch,
+                    scheduler_.pending_sectors(), 1);
+  }
+  (void)scheduler_.DrainAll(deadline);
 }
 
 BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
@@ -207,6 +356,7 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
     return {Status::InvalidArgument("write beyond device capacity"), now};
   }
   max_time_seen_ = std::max(max_time_seen_, now);
+  MaybeIdleDrain(now);
   if (tracer_) tracer_->Record(now, TraceEventType::kCmdStart, lpn, nsec);
 
   const SimTime est = BusTime(nsec, true) + FwTime(nsec, true);
@@ -254,9 +404,19 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
   }
 
   // Cached path: acknowledge once all sectors are in the durable (or
-  // volatile) cache; destage is scheduled immediately for parallelism.
+  // volatile) cache. In legacy eager mode destage is issued synchronously
+  // at acknowledgement; in lazy mode sectors join the destage scheduler
+  // and NAND programs happen in batches across all planes.
   SimTime t = fw.done;
-  for (uint32_t i = 0; i < nsec; ++i) t = AcquireFrame(t);
+  if (UseScheduler()) {
+    // Overwrite absorption: a sector whose destage is still unissued keeps
+    // its frame — only genuinely new dirty sectors acquire one.
+    for (uint32_t i = 0; i < nsec; ++i) {
+      if (!scheduler_.IsPending(lpn + i)) t = AcquireFrame(t);
+    }
+  } else {
+    for (uint32_t i = 0; i < nsec; ++i) t = AcquireFrame(t);
+  }
   SimTime ack = t;
   if (ordered_writes() && ack < last_ordered_ack_) {
     // Ordered NCQ (Sec. 3.3): the firmware acknowledges writes in
@@ -275,16 +435,38 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
                      ack, seq);
   }
 
-  std::vector<Lpn> group;
-  for (uint32_t i = 0; i < nsec; ++i) {
-    const Lpn cur = lpn + i;
-    if (has_pending_half_ && pending_half_lpn_ == cur) {
-      // Rewriting the pending half: it stays pending with fresh data.
-      continue;
+  if (UseScheduler()) {
+    for (uint32_t i = 0; i < nsec; ++i) {
+      if (!scheduler_.Add(lpn + i, ack)) {
+        // Rewrite of a sector whose destage had not been issued: the batch
+        // was updated in place, saving one NAND program.
+        stats_.destage_absorbed++;
+        ++*c_destage_absorbed_;
+      }
     }
-    group.push_back(cur);
-    if (group.size() == ftl_.sectors_per_page()) {
-      Status s = DestageGroup(ack, group);
+    const bool batch_ready =
+        scheduler_.pending_full_pages() >= cfg_.destage_batch_pages;
+    // Idle-media opportunism: while fewer than one page per plane is in
+    // flight the media has spare slots, so lazily holding sectors back
+    // only lengthens frame residency — drain a round now. Once the media
+    // saturates (outstanding covers every plane) this stops firing and
+    // pending sectors accumulate to absorb rewrites instead.
+    while (!outstanding_.empty() && outstanding_.top() <= ack) {
+      outstanding_.pop();
+    }
+    const bool media_idle =
+        outstanding_.size() < static_cast<size_t>(cfg_.geometry.total_planes() *
+                                                  ftl_.sectors_per_page()) &&
+        scheduler_.pending_full_pages() > 0;
+    if (batch_ready || media_idle) {
+      stats_.destage_batches++;
+      if (tracer_) {
+        tracer_->Record(ack, TraceEventType::kDestageBatch,
+                        scheduler_.pending_sectors(), batch_ready ? 0 : 1);
+      }
+      Status s = batch_ready
+                     ? scheduler_.DrainRound(ack)
+                     : scheduler_.DrainRound(ack, cfg_.geometry.total_planes());
       if (!s.ok()) {
         // The command is rejected as a whole: un-insert its cache entries so
         // a later power cut cannot dump (and replay) data the host was told
@@ -292,29 +474,49 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
         RollbackCommandEntries(lpn, nsec, ack);
         return {s, now};
       }
-      group.clear();
     }
-  }
-  if (!group.empty()) {
-    assert(group.size() == 1);
-    if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0 &&
-        pending_half_lpn_ != group[0]) {
-      group.push_back(pending_half_lpn_);
-      has_pending_half_ = false;
-      pending_half_lpn_ = kInvalidLpn;
-      Status s = DestageGroup(ack, group);
-      if (!s.ok()) {
-        RollbackCommandEntries(lpn, nsec, ack);
-        return {s, now};
+  } else {
+    std::vector<Lpn> group;
+    for (uint32_t i = 0; i < nsec; ++i) {
+      const Lpn cur = lpn + i;
+      if (has_pending_half_ && pending_half_lpn_ == cur) {
+        // Rewriting the pending half: it stays pending with fresh data.
+        continue;
       }
-    } else if (ftl_.sectors_per_page() > 1) {
-      has_pending_half_ = true;
-      pending_half_lpn_ = group[0];
-    } else {
-      Status s = DestageGroup(ack, group);
-      if (!s.ok()) {
-        RollbackCommandEntries(lpn, nsec, ack);
-        return {s, now};
+      group.push_back(cur);
+      if (group.size() == ftl_.sectors_per_page()) {
+        Status s = DestageGroup(ack, group);
+        if (!s.ok()) {
+          // The command is rejected as a whole: un-insert its cache entries
+          // so a later power cut cannot dump (and replay) data the host was
+          // told failed.
+          RollbackCommandEntries(lpn, nsec, ack);
+          return {s, now};
+        }
+        group.clear();
+      }
+    }
+    if (!group.empty()) {
+      assert(group.size() == 1);
+      if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0 &&
+          pending_half_lpn_ != group[0]) {
+        group.push_back(pending_half_lpn_);
+        has_pending_half_ = false;
+        pending_half_lpn_ = kInvalidLpn;
+        Status s = DestageGroup(ack, group);
+        if (!s.ok()) {
+          RollbackCommandEntries(lpn, nsec, ack);
+          return {s, now};
+        }
+      } else if (ftl_.sectors_per_page() > 1) {
+        has_pending_half_ = true;
+        pending_half_lpn_ = group[0];
+      } else {
+        Status s = DestageGroup(ack, group);
+        if (!s.ok()) {
+          RollbackCommandEntries(lpn, nsec, ack);
+          return {s, now};
+        }
       }
     }
   }
@@ -341,6 +543,7 @@ BlockDevice::Result SsdDevice::DoRead(SimTime now, Lpn lpn, uint32_t nsec,
     return {Status::InvalidArgument("read beyond device capacity"), now};
   }
   max_time_seen_ = std::max(max_time_seen_, now);
+  MaybeIdleDrain(now);
   stats_.host_reads++;
   stats_.host_read_sectors += nsec;
   if (tracer_) tracer_->Record(now, TraceEventType::kReadStart, lpn, nsec);
@@ -438,6 +641,17 @@ BlockDevice::Result SsdDevice::DoFlush(SimTime now) {
     return {Status::OK(), done};
   }
 
+  if (UseScheduler() && !scheduler_.empty()) {
+    // FLUSH CACHE drains the write cache: everything pending is issued
+    // before the drain wait below, partial page included.
+    stats_.destage_batches++;
+    if (tracer_) {
+      tracer_->Record(now, TraceEventType::kDestageBatch,
+                      scheduler_.pending_sectors(), 3);
+    }
+    Status s = scheduler_.DrainAll(now);
+    if (!s.ok()) return {s, now};
+  }
   if (has_pending_half_ && cache_.count(pending_half_lpn_) != 0) {
     std::vector<Lpn> group{pending_half_lpn_};
     has_pending_half_ = false;
@@ -501,9 +715,16 @@ void SsdDevice::DumpOnCapacitor(SimTime t) {
   // entries. Completed programs survive via the dumped mapping delta.
   std::vector<std::pair<Lpn, const std::string*>> to_dump;
   for (const auto& [lpn, e] : cache_) {
-    if (e.ack <= t && e.program_done > t) {
-      to_dump.emplace_back(lpn, &e.data);
+    if (e.ack > t || e.program_done <= t) continue;
+    if (UseScheduler() && e.program_issue <= t) {
+      // The program was issued by the cut: the capacitor quiesce runs it to
+      // completion and the mapping survives the rollback (kIssued), so the
+      // sector needs no dump page. Skipping these keeps the dump within the
+      // reserved area even though lazy destage leaves far more entries with
+      // an open [ack, program_done) window than the eager path ever did.
+      continue;
     }
+    to_dump.emplace_back(lpn, &e.data);
   }
   const uint64_t dump_bytes =
       (static_cast<uint64_t>(to_dump.size()) + 1) * cfg_.geometry.page_size +
@@ -612,6 +833,7 @@ void SsdDevice::PowerCut(SimTime t) {
           e.ack = e.prev_ack;
           e.seq = e.prev_seq;
           e.has_prev = false;
+          e.program_issue = kNeverProgrammed;
           e.program_start = 0;
           e.program_done = kNeverProgrammed;  // Needs replay.
           max_kept_seq = std::max(max_kept_seq, e.seq);
@@ -634,10 +856,11 @@ void SsdDevice::PowerCut(SimTime t) {
       has_pending_half_ = false;
       pending_half_lpn_ = kInvalidLpn;
     }
-    // Programs that had not begun by t belong to discarded commands; their
-    // mapping entries roll back. Started programs keep their mapping; the
-    // replay below re-points any that were shorn.
-    ftl_.PowerCutRollback(t, /*expose_started_programs=*/true);
+    // Programs issued after t belong to discarded commands; their mapping
+    // entries roll back. Programs *issued* by t keep their mapping — the
+    // capacitor runs every issued NAND operation to completion, so keying
+    // on issue (not cell-program start) matches QuiesceInFlight above.
+    ftl_.PowerCutRollback(t, Ftl::PowerCutExposure::kIssued);
     DumpOnCapacitor(t);
   } else {
     const bool flush_in_progress =
@@ -646,11 +869,16 @@ void SsdDevice::PowerCut(SimTime t) {
     const bool expose = cfg_.exposes_torn_writes && flush_in_progress;
     cache_.clear();
     cache_fifo_.clear();
-    ftl_.PowerCutRollback(t, expose);
+    ftl_.PowerCutRollback(t, expose ? Ftl::PowerCutExposure::kStarted
+                                    : Ftl::PowerCutExposure::kNone);
   }
 
   has_pending_half_ = false;
   pending_half_lpn_ = kInvalidLpn;
+  // Pending scheduler sectors were acknowledged but never issued: on a
+  // durable device the dump above saved them (program_done is still
+  // "never"), on a volatile one they are lost with the cache.
+  scheduler_.Clear();
   while (!outstanding_.empty()) outstanding_.pop();
   last_flush_start_ = last_flush_done_ = -1;
   flush_windows_.clear();
@@ -784,6 +1012,7 @@ SimTime SsdDevice::PowerOn() {
   powered_ = true;
   cache_.clear();
   cache_fifo_.clear();
+  scheduler_.Clear();
   while (!outstanding_.empty()) outstanding_.pop();
 
   SimTime duration = kCleanBootTime;  // Controller boot + capacitor recharge.
@@ -809,6 +1038,16 @@ SimTime SsdDevice::PowerOn() {
 
 Status SsdDevice::Shutdown(SimTime now) {
   if (!powered_) return Status::OK();
+  // A clean shutdown must persist pending scheduler sectors even under
+  // flush modes that only assert ordering (kOrderedNoDrain).
+  if (UseScheduler() && !scheduler_.empty()) {
+    stats_.destage_batches++;
+    if (tracer_) {
+      tracer_->Record(now, TraceEventType::kDestageBatch,
+                      scheduler_.pending_sectors(), 3);
+    }
+    DURASSD_RETURN_IF_ERROR(scheduler_.DrainAll(now));
+  }
   const Result r = Flush(now);
   DURASSD_RETURN_IF_ERROR(r.status);
   powered_ = false;

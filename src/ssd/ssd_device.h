@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "flash/flash_array.h"
 #include "host/block_device.h"
+#include "ssd/destage_scheduler.h"
 #include "ssd/ftl.h"
 #include "ssd/ssd_config.h"
 
@@ -39,7 +40,7 @@ namespace durassd {
 ///  - Recovery manager (Sec. 3.4): on power failure the durable cache and
 ///    dirty mapping entries are dumped to reserved clean blocks within the
 ///    capacitor budget; on reboot the dump is replayed idempotently.
-class SsdDevice : public BlockDevice {
+class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
  public:
   struct Stats {
     uint64_t host_writes = 0;        ///< Write commands.
@@ -62,6 +63,10 @@ class SsdDevice : public BlockDevice {
     uint64_t ordering_violations = 0;     ///< Ordered mode: a power cut kept
                                           ///< a write submitted after a lost
                                           ///< one (must stay 0).
+    uint64_t destage_absorbed = 0;   ///< Rewrites absorbed by a pending,
+                                     ///< not-yet-issued destage (no second
+                                     ///< NAND program).
+    uint64_t destage_batches = 0;    ///< Scheduler drain rounds issued.
   };
 
   /// Device-level view of NAND fault handling, aggregated from the FTL
@@ -156,6 +161,8 @@ class SsdDevice : public BlockDevice {
     std::string data;          ///< Sector bytes; empty in timing-only mode.
     SimTime ack = 0;           ///< Command acknowledged (atomicity point).
     uint64_t seq = 0;          ///< Submission sequence of the owning command.
+    SimTime program_issue = 0;  ///< NAND program issued (kNeverProgrammed
+                                ///< until then); dump/rollback hinge on it.
     SimTime program_start = 0;
     SimTime program_done = 0;  ///< kNeverProgrammed until destage scheduled.
     // One-deep history for the coalescing rollback corner case: if the
@@ -170,6 +177,10 @@ class SsdDevice : public BlockDevice {
   static constexpr SimTime kNeverProgrammed =
       std::numeric_limits<SimTime>::max();
 
+  /// Grows dump_blocks_per_plane so the reserved dump area can cover every
+  /// write-buffer frame when the lazy scheduler is enabled (acknowledged-
+  /// but-unissued sectors all need a dump page at a power cut).
+  static SsdConfig SizeDumpArea(SsdConfig cfg);
   /// Single-command executors (the pre-async Write/Read/Flush bodies),
   /// dispatched from Execute.
   Result DoWrite(SimTime now, Lpn lpn, Slice data);
@@ -178,12 +189,35 @@ class SsdDevice : public BlockDevice {
 
   SimTime BusTime(uint32_t nsec, bool is_write) const;
   SimTime FwTime(uint32_t nsec, bool is_write) const;
+  /// Lazy destage scheduling active (destage_batch_pages > 1)? When false
+  /// the device takes the legacy eager path: one destage per host command,
+  /// issued synchronously at acknowledgement (the A/B baseline).
+  bool UseScheduler() const {
+    return cfg_.cache_enabled && cfg_.destage_batch_pages > 1;
+  }
   /// Blocks until a write-buffer frame is free; returns the (possibly
-  /// delayed) time at which the frame was obtained.
+  /// delayed) time at which the frame was obtained. In lazy mode, frames
+  /// are held by both in-flight programs (outstanding_) and pending
+  /// scheduler sectors; pressure first converts pending into programs.
   SimTime AcquireFrame(SimTime t);
   /// Destages `group` (1..sectors_per_page sectors) at time t, updating the
   /// cache entries' program windows.
   Status DestageGroup(SimTime t, const std::vector<Lpn>& group);
+  // --- DestageScheduler::Sink ---
+  /// Never issue a sector's program before its command's ack (crash
+  /// semantics rely on issue >= ack; see the definition).
+  SimTime ClampToAcks(SimTime t, const std::vector<Lpn>& group) const;
+  Status DestagePage(SimTime t, const std::vector<Lpn>& group) override;
+  Status DestagePagePair(SimTime t, const std::vector<Lpn>& a,
+                         const std::vector<Lpn>& b) override;
+  /// Idle-threshold drain: pending sectors older than destage_idle_ns are
+  /// destaged when the next host command arrives (the device used its own
+  /// idle time). Called on DoWrite/DoRead/DoFlush entry.
+  void MaybeIdleDrain(SimTime now);
+  /// Records the program window for a destaged group and releases its
+  /// frames at program completion.
+  void FinishDestage(const std::vector<Lpn>& group, SimTime issue,
+                     SimTime start, SimTime done);
   void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack, uint64_t seq);
   void EvictCleanIfNeeded();
   /// Mapping-journal persistence cost for `entries` dirty mapping entries.
@@ -223,9 +257,12 @@ class SsdDevice : public BlockDevice {
   /// Completion times of scheduled destages (frame accounting).
   std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
       outstanding_;
-  /// An unpaired 4KB sector awaiting a partner for an 8KB program.
+  /// An unpaired 4KB sector awaiting a partner for an 8KB program (legacy
+  /// eager mode only; the scheduler pairs at drain time instead).
   bool has_pending_half_ = false;
   Lpn pending_half_lpn_ = kInvalidLpn;
+  /// Lazy destage scheduler (UseScheduler(); no-op in legacy eager mode).
+  DestageScheduler scheduler_;
 
   bool powered_ = true;
   bool emergency_shutdown_ = false;
@@ -256,6 +293,7 @@ class SsdDevice : public BlockDevice {
   Histogram* h_destage_ns_;
   Histogram* h_flush_drain_ns_;
   uint64_t* c_degraded_rejects_;
+  uint64_t* c_destage_absorbed_;  ///< "ssd.destage_absorbed" counter.
   Histogram* h_qd_;  ///< In-flight depth at each submission ("ssd.qd").
 };
 

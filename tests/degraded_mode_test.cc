@@ -23,6 +23,15 @@ namespace {
 // until block retirement has consumed every spare block and the FTL gives
 // up. The scratch writes that fail are rolled back by the device, so any
 // engine files living on lower LPNs are untouched.
+// The helper (and the degradation trips below) need every scratch write to
+// reach NAND synchronously; the lazy destage scheduler would absorb the
+// alternating rewrites in the durable cache and never program at all, so
+// these tests pin the legacy eager destage path.
+SsdConfig EagerDestage(SsdConfig cfg) {
+  cfg.destage_batch_pages = 1;
+  return cfg;
+}
+
 void ExhaustSpares(SsdDevice& dev, IoContext& io) {
   for (uint64_t i = 0; i < (1u << 14); ++i) {
     dev.fault_injector().FailProgramAfter(i);
@@ -45,7 +54,7 @@ void ExhaustSpares(SsdDevice& dev, IoContext& io) {
 // --------------------------- Device level ---------------------------------
 
 TEST(DegradedDeviceTest, SpareExhaustionEntersStickyReadOnly) {
-  SsdDevice dev(SsdConfig::Tiny(true));
+  SsdDevice dev(EagerDestage(SsdConfig::Tiny(true)));
   Tracer tracer;
   dev.set_tracer(&tracer);
   IoContext io;
@@ -103,7 +112,7 @@ struct DbStack {
     dc.geometry.blocks_per_plane = 64;
     dc.geometry.pages_per_block = 32;
     dc.capacitor_budget_bytes = 16 * kMiB;
-    device = std::make_unique<SsdDevice>(dc);
+    device = std::make_unique<SsdDevice>(EagerDestage(dc));
     device->set_tracer(&tracer);
     SimFileSystem::Options fso;
     fso.write_barriers = true;
@@ -212,7 +221,7 @@ TEST(DegradedKvStoreTest, RollsBackInFlightBatchAndStaysReadable) {
   dc.geometry.blocks_per_plane = 64;
   dc.geometry.pages_per_block = 32;
   dc.capacitor_budget_bytes = 16 * kMiB;
-  SsdDevice dev(dc);
+  SsdDevice dev(EagerDestage(dc));
   Tracer tracer;
   dev.set_tracer(&tracer);
   SimFileSystem::Options fso;

@@ -147,7 +147,7 @@ TEST_F(FtlTest, RollbackRevertsUnpersistedWrites) {
   ASSERT_TRUE(WriteOne(done, 1, SectorData('n'), &done).ok());
   EXPECT_EQ(ftl_.dirty_mapping_entries(), 1u);
 
-  ftl_.PowerCutRollback(done + kSecond, /*expose_started_programs=*/false);
+  ftl_.PowerCutRollback(done + kSecond, Ftl::PowerCutExposure::kNone);
   std::string out;
   ftl_.ReadSector(0, 1, &out);
   EXPECT_EQ(out, SectorData('o'));  // Lost write: old data visible.
@@ -157,7 +157,7 @@ TEST_F(FtlTest, RollbackRevertsUnpersistedWrites) {
 TEST_F(FtlTest, RollbackUnmapsNeverPersistedSector) {
   SimTime done = 0;
   ASSERT_TRUE(WriteOne(0, 9, SectorData('x'), &done).ok());
-  ftl_.PowerCutRollback(done + kSecond, false);
+  ftl_.PowerCutRollback(done + kSecond, Ftl::PowerCutExposure::kNone);
   EXPECT_FALSE(ftl_.IsMapped(9));
   std::string out;
   ftl_.ReadSector(0, 9, &out);
@@ -170,7 +170,7 @@ TEST_F(FtlTest, ExposeStartedKeepsInFlightMapping) {
   // Cut in the middle of the program with the expose flag (the commodity-SSD
   // anomaly): the mapping keeps pointing at the torn page.
   flash_.PowerCut(done - 10);
-  ftl_.PowerCutRollback(done - 10, /*expose_started_programs=*/true);
+  ftl_.PowerCutRollback(done - 10, Ftl::PowerCutExposure::kStarted);
 
   EXPECT_TRUE(ftl_.IsMapped(4));
   std::string out;
@@ -190,7 +190,7 @@ TEST_F(FtlTest, RollbackAfterOverwriteRestoresPersistedVersion) {
   ASSERT_TRUE(WriteOne(done, 2, SectorData('q'), &done).ok());
   ASSERT_TRUE(WriteOne(done, 2, SectorData('r'), &done).ok());
 
-  ftl_.PowerCutRollback(done + kSecond, false);
+  ftl_.PowerCutRollback(done + kSecond, Ftl::PowerCutExposure::kNone);
   std::string out;
   ftl_.ReadSector(0, 2, &out);
   EXPECT_EQ(out, SectorData('p'));
@@ -212,7 +212,7 @@ TEST_F(FtlTest, GcForcesPersistenceOfReclaimedRollbackTargets) {
   }
   ASSERT_GT(ftl_.stats().gc_runs, 0u);
 
-  ftl_.PowerCutRollback(t + kSecond, false);
+  ftl_.PowerCutRollback(t + kSecond, Ftl::PowerCutExposure::kNone);
   std::string out;
   ftl_.ReadSector(0, 0, &out);
   // Either the new value survived (force-persisted by GC) or the old one
