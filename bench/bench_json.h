@@ -258,6 +258,11 @@ class BenchJson {
     w.BeginArray();
     for (const std::string& r : results_) w.Raw(r);
     w.EndArray();
+    // Terminal completeness marker, written last: a truncated document (the
+    // bench crashed or was killed mid-write) cannot contain it, so the
+    // aggregation script and bench_compare.py reject partial output instead
+    // of silently comparing against it.
+    w.Key("complete"); w.Bool(true);
     w.EndObject();
     return w.TakeString();
   }

@@ -41,6 +41,9 @@ run_bench() {
   echo "===== $b ====="
   local extra=()
   if [ "$JSON" = 1 ]; then
+    # Remove stale output first: a bench that dies before writing must not
+    # leave a previous run's document to be aggregated as if it were fresh.
+    rm -f "$JSON_DIR/$b.json"
     extra+=(--json "$JSON_DIR/$b.json")
   fi
   if ! "./build/bench/$b" $QUICK "$@" "${extra[@]+"${extra[@]}"}"; then
@@ -53,7 +56,8 @@ run_bench() {
 for b in table1_fsync_iops table2_page_size fig5_linkbench fig6_buffer_sweep \
          table3_latency table4_tpcc table5_couchbase ablation_cache_size \
          ablation_parallelism ablation_gc ablation_dump_area \
-         ablation_endurance ablation_flush_semantics ablation_queue_depth; do
+         ablation_endurance ablation_flush_semantics ablation_queue_depth \
+         ablation_durability_mode; do
   run_bench "$b"
 done
 run_bench micro_ops --benchmark_min_time=0.1
@@ -68,6 +72,15 @@ if [ "$JSON" = 1 ]; then
     for f in "$JSON_DIR"/*.json; do
       [ -e "$f" ] || continue
       name="$(basename "$f" .json)"
+      # Partial output (bench crashed or was killed mid-write) lacks the
+      # terminal "complete":true key and must not reach the aggregate.
+      # micro_ops is google-benchmark's native format and is exempt.
+      if [ "$name" != micro_ops ] && \
+         ! grep -q '"complete": *true' "$f"; then
+        echo "INCOMPLETE: $name ($f has no terminal \"complete\" key)" >&2
+        FAILED="$FAILED $name(incomplete)"
+        continue
+      fi
       if [ "$first" = 1 ]; then first=0; else printf ','; fi
       printf '"%s":' "$name"
       cat "$f"

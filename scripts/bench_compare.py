@@ -51,6 +51,17 @@ def main():
     notes = []
     compared = 0
 
+    # A document with "results" but without the terminal "complete": true
+    # marker is partial output (the bench died mid-write); comparing against
+    # it — in either role — would silently shrink coverage.
+    for role, docs in (("baseline", base), ("current", cur)):
+        for bench_name, doc in sorted(docs.items()):
+            if "results" in doc and doc.get("complete") is not True:
+                regressions.append(
+                    f"{bench_name}: {role} document is incomplete "
+                    '(missing "complete": true)'
+                )
+
     for bench_name, base_doc in sorted(base.items()):
         if "results" not in base_doc:
             # google-benchmark native output (micro_ops): wall-clock noisy,

@@ -31,6 +31,7 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kTxnAbort: return "txn_abort";
     case TraceEventType::kInvariantViolation: return "invariant_violation";
     case TraceEventType::kDestageBatch: return "destage_batch";
+    case TraceEventType::kBarrier: return "barrier";
   }
   return "unknown";
 }

@@ -41,6 +41,7 @@ enum class TraceEventType : uint8_t {
                         ///< a0=invariant id, a1=detail.
   kDestageBatch,     ///< Lazy destage drain issued. a0=pending_sectors,
                      ///< a1=trigger (0=batch, 1=idle, 2=pressure, 3=flush).
+  kBarrier,          ///< BARRIER sealed an epoch. a0=epoch, a1=writes sealed.
 };
 
 const char* TraceEventTypeName(TraceEventType type);

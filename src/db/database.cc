@@ -93,15 +93,18 @@ StatusOr<std::unique_ptr<Database>> Database::Open(IoContext& io,
   db->data_file_ = data_fs->Open(kDataFile);
   db->dwb_file_ = data_fs->Open(kDwbFile);
   db->wal_file_ = log_fs->Open(kWalFile);
-  db->wal_ = std::make_unique<Wal>(
-      db->wal_file_,
-      Wal::Options{options.checkpoint_log_bytes, &db->metrics_});
+  Wal::Options wal_opts;
+  wal_opts.soft_limit_bytes = options.checkpoint_log_bytes;
+  wal_opts.metrics = &db->metrics_;
+  wal_opts.durability_mode = options.durability_mode;
+  db->wal_ = std::make_unique<Wal>(db->wal_file_, wal_opts);
   if (options.double_write) {
     DoubleWriteBuffer::Options dwb_opts;
     dwb_opts.page_size = options.page_size;
     dwb_opts.batch_pages = options.dwb_batch_pages;
     dwb_opts.home_write_depth = options.dwb_home_write_depth;
     dwb_opts.metrics = &db->metrics_;
+    dwb_opts.durability_mode = options.durability_mode;
     db->dwb_ = std::make_unique<DoubleWriteBuffer>(db->dwb_file_,
                                                    db->data_file_, dwb_opts);
   }

@@ -56,6 +56,11 @@ class Database : public PageAllocator {
     /// Queue depth for double-write home-location writes; 0 = issue all at
     /// once and wait for the slowest (pre-async behavior).
     uint32_t dwb_home_write_depth = 0;
+    /// Commit durability discipline, threaded into the WAL and the
+    /// double-write buffer. kBarrier turns fsync-for-ordering into barrier
+    /// submissions; checkpoints keep a real fsync (the data pages must be
+    /// on media before the checkpoint record claims they are).
+    DurabilityMode durability_mode = DurabilityMode::kDurableOrderedNcq;
   };
 
   struct Stats {

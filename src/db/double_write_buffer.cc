@@ -48,10 +48,12 @@ Status DoubleWriteBuffer::FlushBatch(IoContext& io) {
   std::string blob;
   blob.reserve(pending_.size() * opts_.page_size);
   for (const auto& [id, img] : pending_) blob.append(img);
+  const bool use_barrier =
+      opts_.durability_mode == DurabilityMode::kBarrier;
   SimFile::IoResult r = dwb_file_->Write(io.now, 0, blob);
   DURASSD_RETURN_IF_ERROR(r.status);
   io.AdvanceTo(r.done);
-  r = dwb_file_->Sync(io.now);
+  r = use_barrier ? dwb_file_->Barrier(io.now) : dwb_file_->Sync(io.now);
   DURASSD_RETURN_IF_ERROR(r.status);
   io.AdvanceTo(r.done);
 
@@ -74,8 +76,9 @@ Status DoubleWriteBuffer::FlushBatch(IoContext& io) {
     io.AdvanceTo(latest);
   }
 
-  // 3. fsync the data file before the region may be overwritten.
-  r = data_file_->Sync(io.now);
+  // 3. fsync the data file before the region may be overwritten — pure
+  // ordering again, so barrier mode barriers instead.
+  r = use_barrier ? data_file_->Barrier(io.now) : data_file_->Sync(io.now);
   DURASSD_RETURN_IF_ERROR(r.status);
   io.AdvanceTo(r.done);
 

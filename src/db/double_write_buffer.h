@@ -11,6 +11,7 @@
 #include "common/trace.h"
 #include "common/types.h"
 #include "db/io_context.h"
+#include "host/durability_mode.h"
 #include "host/sim_file.h"
 
 namespace durassd {
@@ -35,6 +36,11 @@ class DoubleWriteBuffer {
     /// Owner's metrics registry; the buffer registers under the "dwb."
     /// prefix. May be null (no metrics collected).
     MetricsRegistry* metrics = nullptr;
+    /// Both fsyncs of the double-write protocol exist to *order* phases
+    /// (region images before home writes, home writes before region reuse);
+    /// in kBarrier mode they become barrier submissions and the batch stops
+    /// waiting on media between phases.
+    DurabilityMode durability_mode = DurabilityMode::kDurableOrderedNcq;
   };
 
   DoubleWriteBuffer(SimFile* dwb_file, SimFile* data_file, Options options);

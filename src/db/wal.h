@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "common/trace.h"
 #include "db/io_context.h"
+#include "host/durability_mode.h"
 #include "host/sim_file.h"
 
 namespace durassd {
@@ -66,6 +67,12 @@ class Wal {
     /// writes, a power cut shearing that NAND program destroys previously
     /// fsynced commit records sharing the sector. 0 disables padding.
     uint32_t pad_to_bytes = 4096;
+    /// How SyncTo makes commits durable. kBarrier replaces the fsync with a
+    /// barrier submission: commit latency stops waiting on media, and the
+    /// device's epoch ordering guarantees the log prefix property instead.
+    /// The other two modes sync through fsync (their cost difference comes
+    /// from the device + file-system configuration, not this code path).
+    DurabilityMode durability_mode = DurabilityMode::kDurableOrderedNcq;
   };
 
   Wal(SimFile* file, Options options);
@@ -134,6 +141,8 @@ class Wal {
     /// is the largest group observed.
     uint64_t sync_groups = 0;
     uint64_t max_group_commit = 0;
+    uint64_t barrier_commits = 0;  ///< Commits made durable via a barrier
+                                   ///< submission instead of an fsync wait.
   };
   const Stats& stats() const { return stats_; }
 
@@ -171,6 +180,7 @@ class Wal {
   Histogram* h_group_size_ = nullptr;
   uint64_t* c_appends_ = nullptr;
   uint64_t* c_group_rides_ = nullptr;
+  uint64_t* c_barrier_commits_ = nullptr;
 };
 
 }  // namespace durassd

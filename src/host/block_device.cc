@@ -108,4 +108,10 @@ BlockDevice::Result BlockDevice::Flush(SimTime now) {
   return {c.status, c.done};
 }
 
+BlockDevice::Result BlockDevice::Barrier(SimTime now) {
+  const CmdId id = Submit(now, Command::MakeBarrier());
+  const Completion c = Await(id);
+  return {c.status, c.done};
+}
+
 }  // namespace durassd

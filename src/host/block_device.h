@@ -46,7 +46,7 @@ class BlockDevice {
   /// of the Submit call; `out` (reads) must stay alive until the command's
   /// completion is consumed.
   struct Command {
-    enum class Op : uint8_t { kWrite, kRead, kFlush };
+    enum class Op : uint8_t { kWrite, kRead, kFlush, kBarrier };
     Op op = Op::kFlush;
     Lpn lpn = 0;
     uint32_t nsec = 0;          ///< Sector count (reads).
@@ -69,6 +69,11 @@ class BlockDevice {
       return c;
     }
     static Command MakeFlush() { return Command{}; }
+    static Command MakeBarrier() {
+      Command c;
+      c.op = Op::kBarrier;
+      return c;
+    }
   };
 
   struct Completion {
@@ -135,6 +140,15 @@ class BlockDevice {
   /// when write barriers are enabled (Fig. 2).
   Result Flush(SimTime now);
 
+  /// BARRIER: seals the current write epoch (Won et al., "Barrier Enabled
+  /// IO Stack"). The device guarantees that after a power cut the surviving
+  /// writes form an epoch-consistent cut — every write of a surviving epoch's
+  /// predecessors survives too. Unlike Flush this neither drains the cache
+  /// nor waits on media; it is an ordering point, not a durability point.
+  /// Only meaningful when supports_barrier(); other devices treat it as
+  /// Flush (see each Execute).
+  Result Barrier(SimTime now);
+
   /// Simulated power failure at virtual time `t`. Volatile caches lose
   /// unflushed data; an in-flight media write leaves a torn sector; DuraSSD
   /// dumps its durable cache to the dump area on capacitor power.
@@ -154,6 +168,10 @@ class BlockDevice {
   /// has_durable_cache() in practice — ordering without durability of the
   /// acknowledged prefix would guarantee nothing.
   virtual bool ordered_writes() const { return false; }
+  /// True when the device implements the BARRIER command natively: epochs
+  /// sealed by Barrier() persist in order across power cuts. File systems
+  /// fall back to a full fsync on devices without it.
+  virtual bool supports_barrier() const { return false; }
 
   virtual uint64_t capacity_bytes() const {
     return num_sectors() * sector_size();

@@ -1,0 +1,49 @@
+#ifndef DURASSD_HOST_DURABILITY_MODE_H_
+#define DURASSD_HOST_DURABILITY_MODE_H_
+
+namespace durassd {
+
+/// How a host expresses commit ordering + durability to the device. The
+/// three deployments ROADMAP item 3 contrasts:
+///
+///   kVolatileFlush     — commodity volatile-cache SSD, write barriers on:
+///                        every commit fsync issues FLUSH CACHE and waits
+///                        for the drain. Durable and ordered, but the host
+///                        pays milliseconds per commit (Fig. 2).
+///   kDurableOrderedNcq — the paper's DuraSSD deployment (nobarrier mount):
+///                        the capacitor-backed cache makes every
+///                        acknowledged write durable and the ordered NCQ
+///                        keeps acknowledgement order equal to submission
+///                        order, so fsync degenerates to a syscall.
+///   kBarrier           — barrier-enabled I/O (Won et al., PAPERS.md): a
+///                        commit writes its log records and submits a
+///                        BARRIER command that seals the current epoch.
+///                        The device persists epochs in order — intra-epoch
+///                        reordering allowed, cross-epoch never — so the
+///                        host gets ordering without waiting on media.
+///                        fsync-for-durability remains at boundaries that
+///                        genuinely need the media state (checkpoints,
+///                        clean shutdown).
+///
+/// Engines treat kVolatileFlush and kDurableOrderedNcq identically at the
+/// call site (both sync through fsync; the cost difference comes from the
+/// device + file-system configuration). kBarrier switches the commit call
+/// from Sync to Barrier.
+enum class DurabilityMode {
+  kVolatileFlush,
+  kDurableOrderedNcq,
+  kBarrier,
+};
+
+inline const char* DurabilityModeName(DurabilityMode m) {
+  switch (m) {
+    case DurabilityMode::kVolatileFlush: return "volatile+flush";
+    case DurabilityMode::kDurableOrderedNcq: return "durable+ordered-ncq";
+    case DurabilityMode::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
+}  // namespace durassd
+
+#endif  // DURASSD_HOST_DURABILITY_MODE_H_

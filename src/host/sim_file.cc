@@ -104,6 +104,35 @@ SimFile::IoResult SimFileSystem::SyncInternal(SimTime now, SimFile* file,
   return {Status::OK(), t + 5 * kMicrosecond};
 }
 
+SimFile::IoResult SimFileSystem::BarrierInternal(SimTime now, SimFile* file) {
+  if (!device_->supports_barrier()) {
+    // The ordering request can only be honored by draining: fall back to a
+    // full fsync (journal + FLUSH per the mount options).
+    return SyncInternal(now, file, /*write_journal=*/true);
+  }
+  // Group commit, same batching rule as fsync: a barrier *initiated* at or
+  // after this caller's writes completed already sealed those writes into
+  // its epoch — concurrent committers share one barrier submission. A
+  // completed full sync (journal + FLUSH drain) is strictly stronger and
+  // covers the request too.
+  if (last_barrier_start_ >= now || last_sync_start_ >= now) {
+    stats_.batched_barriers++;
+    return {Status::OK(),
+            last_barrier_start_ >= last_sync_start_ ? last_barrier_done_
+                                                    : last_sync_done_};
+  }
+  // No journal transaction: a BARRIER does not persist metadata, it only
+  // orders the data stream. The file's metadata stays dirty so a later
+  // real fsync still journals it.
+  stats_.barrier_cmds++;
+  const BlockDevice::Result r = device_->Barrier(now);
+  if (r.status.ok()) {
+    last_barrier_start_ = now;
+    last_barrier_done_ = r.done;
+  }
+  return {r.status, r.done};
+}
+
 // ---------------------------------------------------------------------------
 // SimFile
 // ---------------------------------------------------------------------------
@@ -393,6 +422,10 @@ SimFile::IoResult SimFile::Sync(SimTime now) {
 
 SimFile::IoResult SimFile::DataSync(SimTime now) {
   return fs_->SyncInternal(now, this, /*write_journal=*/false);
+}
+
+SimFile::IoResult SimFile::Barrier(SimTime now) {
+  return fs_->BarrierInternal(now, this);
 }
 
 }  // namespace durassd

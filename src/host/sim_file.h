@@ -72,6 +72,11 @@ class SimFile {
   IoResult Sync(SimTime now);
   /// fdatasync-style sync that skips the metadata/journal write.
   IoResult DataSync(SimTime now);
+  /// Barrier-enabled fsync (fbarrier(2) in Won et al.): orders everything
+  /// written so far against everything written later, without waiting for
+  /// media. On devices without barrier support this degenerates to a full
+  /// Sync — ordering can then only be had by draining.
+  IoResult Barrier(SimTime now);
 
   /// Pre-sizes the file (like fallocate); useful for log files.
   Status Allocate(uint64_t new_size);
@@ -156,6 +161,9 @@ class SimFileSystem {
     uint64_t batched_syncs = 0;  ///< fsyncs that rode another's commit.
     uint64_t journal_writes = 0;
     uint64_t flush_cmds = 0;  ///< FLUSH CACHE actually sent to the device.
+    uint64_t barrier_cmds = 0;  ///< BARRIER commands sent to the device.
+    uint64_t batched_barriers = 0;  ///< Barriers that rode another's
+                                    ///< barrier or full sync.
   };
   const Stats& stats() const { return stats_; }
 
@@ -165,6 +173,7 @@ class SimFileSystem {
   StatusOr<Lpn> AllocateChunk();
   SimFile::IoResult SyncInternal(SimTime now, SimFile* file,
                                  bool write_journal);
+  SimFile::IoResult BarrierInternal(SimTime now, SimFile* file);
 
   BlockDevice* device_;
   Options opts_;
@@ -172,6 +181,8 @@ class SimFileSystem {
   uint32_t journal_cursor_ = 0;
   SimTime last_sync_start_ = -1;
   SimTime last_sync_done_ = -1;
+  SimTime last_barrier_start_ = -1;
+  SimTime last_barrier_done_ = -1;
   std::unordered_map<std::string, std::unique_ptr<SimFile>> files_;
   Stats stats_;
 };

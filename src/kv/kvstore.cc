@@ -421,14 +421,20 @@ Status KvStore::WriteHeader(IoContext& io) {
   tail_.append(block);
   append_offset_ = tail_base_ + tail_.size();
 
-  // Write data (everything buffered), fsync, which orders the header after
-  // the data it points to when barriers are on.
+  // Write data (everything buffered), then make it durable. The fsync
+  // orders the header after the data it points to when barriers are on;
+  // kBarrier gets the same ordering from the device's epoch machinery
+  // without waiting on media.
   const SimFile::IoResult w = file_->Write(io.now, tail_base_, tail_);
   DURASSD_RETURN_IF_ERROR(w.status);
   io.AdvanceTo(w.done);
   const SimTime sync_start = io.now;
-  const SimFile::IoResult s = file_->Sync(io.now);
+  const bool use_barrier =
+      opts_.durability_mode == DurabilityMode::kBarrier;
+  const SimFile::IoResult s =
+      use_barrier ? file_->Barrier(io.now) : file_->Sync(io.now);
   DURASSD_RETURN_IF_ERROR(s.status);
+  if (use_barrier) stats_.barrier_commits++;
   io.AdvanceTo(s.done);
   h_fsync_ns_->Record(io.now - sync_start);
   // Group-commit accounting: headers whose fsync coalesced into the same

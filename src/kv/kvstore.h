@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "db/io_context.h"
+#include "host/durability_mode.h"
 #include "host/sim_file.h"
 
 namespace durassd {
@@ -36,6 +37,10 @@ class KvStore {
     /// Compact when garbage exceeds this fraction of the file.
     double compact_garbage_ratio = 0.7;
     bool auto_compact = false;
+    /// How a batch commit's header write is made durable. kBarrier submits
+    /// a barrier instead of waiting on fsync: the durable-cache epoch
+    /// ordering guarantees header-after-payload across a power cut.
+    DurabilityMode durability_mode = DurabilityMode::kDurableOrderedNcq;
   };
 
   struct Stats {
@@ -55,6 +60,8 @@ class KvStore {
     /// file system / device coalesced them into one FLUSH — form a group.
     uint64_t sync_groups = 0;
     uint64_t max_group_commit = 0;
+    uint64_t barrier_commits = 0;  ///< Commits made durable via a barrier
+                                   ///< submission instead of an fsync wait.
   };
 
   static StatusOr<std::unique_ptr<KvStore>> Open(IoContext& io,

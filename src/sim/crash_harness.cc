@@ -122,6 +122,7 @@ Status OpenEngine(Stack& s, const CrashHarness::Options& opt,
     dbo.checkpoint_log_bytes = 2 * kMiB;  // Frequent checkpoints.
     dbo.sync_every_page_write = opt.sync_every_page_write;
     dbo.checkpoint_queue_depth = opt.checkpoint_queue_depth;
+    dbo.durability_mode = opt.durability_mode;
     auto d = Database::Open(s.io, s.fs.get(), s.fs.get(), dbo);
     if (!d.ok()) return d.status();
     eng->db = std::move(*d);
@@ -140,6 +141,7 @@ Status OpenEngine(Stack& s, const CrashHarness::Options& opt,
   } else {
     KvStore::Options ko;
     ko.batch_size = opt.kv_batch_size;
+    ko.durability_mode = opt.durability_mode;
     auto k = KvStore::Open(s.io, s.fs.get(), "s.couch", ko);
     if (!k.ok()) return k.status();
     eng->kv = std::move(*k);
@@ -329,7 +331,10 @@ std::string CrashHarness::Options::ToString() const {
      << " ops_per_txn=" << ops_per_txn << " keyspace=" << keyspace
      << " cut_fraction=" << cut_fraction << " nested=" << nested_cut
      << " faults=" << inject_faults << " ordered=" << ordered_queue
-     << " ckpt_qd=" << checkpoint_queue_depth;
+     << " ckpt_qd=" << checkpoint_queue_depth
+     << " mode=" << DurabilityModeName(durability_mode)
+     << " cut_at_boundary=" << cut_at_barrier_boundary
+     << " plant_reorder=" << plant_epoch_reorder;
   return os.str();
 }
 
@@ -346,8 +351,13 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   std::vector<Model> snapshots;
   snapshots.push_back(Model{});  // Snapshot 0: before any commit.
   SimTime total = 0;
+  // Device-level commit-boundary instants (barrier seals and flush
+  // completions) harvested from the probe pass. Recording never advances
+  // virtual time, so the probe timing is unperturbed.
+  Tracer boundary_tracer(1 << 16);
   {
     Stack s(opt);
+    if (opt.cut_at_barrier_boundary) s.device->set_tracer(&boundary_tracer);
     const RunResult pr = RunWorkload(s, opt, ops, /*cut=*/0, &snapshots);
     if (!pr.open_ok) {
       AddViolation(&rep, opt, 0, "probe open failed: " + pr.fail.ToString());
@@ -365,6 +375,26 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   if (total <= 0) total = 1;
   SimTime cut =
       static_cast<SimTime>(static_cast<double>(total) * opt.cut_fraction);
+  if (opt.cut_at_barrier_boundary) {
+    // Snap the cut to an epoch-edge instant: barriers and flush completions
+    // are exactly where the suffix the device may lose changes epoch.
+    // cut_fraction selects which boundary. Without any boundary event
+    // (e.g. the nobarrier deployment syncs without device commands) the
+    // fraction-of-total cut above stands.
+    std::vector<SimTime> boundaries;
+    for (const TraceEvent& e : boundary_tracer.Events()) {
+      if (e.type == TraceEventType::kBarrier ||
+          e.type == TraceEventType::kFlushDone) {
+        boundaries.push_back(e.t);
+      }
+    }
+    if (!boundaries.empty()) {
+      size_t idx = static_cast<size_t>(
+          opt.cut_fraction * static_cast<double>(boundaries.size() - 1));
+      idx = std::min(idx, boundaries.size() - 1);
+      cut = boundaries[idx];
+    }
+  }
   if (cut < 1) cut = 1;
 
   // ---- Optional replay to learn the recovery duration, so the nested cut
@@ -388,6 +418,22 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   const RunResult rr = RunWorkload(s, opt, ops, cut, nullptr);
   EnsureCrashed(s, cut);
   rep.cuts = 1;
+  // Epoch oracle: the device audits its own durable-cache survivor set at
+  // every power cut — keeping any write of epoch N+1 while losing one of
+  // epoch N is a barrier-ordering violation regardless of what the engine
+  // later recovers. Checked after every cut this Run performs.
+  uint64_t epoch_seen = 0;
+  const auto check_epoch = [&](CrashHarness::Report* r) {
+    const uint64_t v = s.device->stats().epoch_ordering_violations;
+    if (v > epoch_seen) {
+      AddViolation(r, opt, 5,
+                   "epoch ordering: device kept a newer-epoch write while "
+                   "losing an older-epoch one (" +
+                       std::to_string(v - epoch_seen) + " cut(s))");
+      epoch_seen = v;
+    }
+  };
+  check_epoch(&rep);
   rep.commits_acked = rr.commits;
   rep.commit_in_flight = rr.commit_in_flight;
   if (rr.open_ok && rr.fail.ok()) {
@@ -430,6 +476,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   if (!open_st.ok()) {
     rep.recovered = false;
     rep.degraded = s.device->degraded();
+    check_epoch(&rep);  // Nested cuts during recovery are audited too.
     const bool clean = open_st.IsCorruption() || open_st.IsDataLoss();
     if (tier == Tier::kStrict || !clean) {
       AddViolation(&rep, opt, 0, "recovery failed: " + open_st.ToString());
@@ -443,6 +490,50 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
     AddViolation(&rep, opt, 0,
                  "post-recovery reads failed: " + state.status().ToString());
     return rep;
+  }
+
+  // ---- Negative self-test: forge a cross-epoch reordering and require the
+  // oracle below to reject it. The forgery keeps the newest pre-cut commit's
+  // updates while reverting an older commit's delta — exactly the survivor
+  // shape a broken barrier implementation would leave behind. A Run with
+  // this flag that still reports ok means the oracle is blind.
+  if (opt.plant_epoch_reorder) {
+    const uint64_t acked = rr.commits;
+    if (acked < 2) {
+      AddViolation(&rep, opt, 0,
+                   "plant_epoch_reorder requires >= 2 commits before the "
+                   "cut; got " +
+                       std::to_string(acked));
+      return rep;
+    }
+    Model forged;
+    bool planted = false;
+    for (uint64_t e = acked - 1; e >= 1; --e) {
+      Model trial = snapshots[acked];
+      for (const auto& [k, v] : snapshots[e]) {
+        auto prev = snapshots[e - 1].find(k);
+        const bool differs =
+            prev == snapshots[e - 1].end() || prev->second != v;
+        if (!differs) continue;
+        if (prev == snapshots[e - 1].end()) {
+          trial.erase(k);
+        } else {
+          trial[k] = prev->second;
+        }
+      }
+      if (trial != snapshots[acked]) {
+        forged = std::move(trial);
+        planted = true;
+        break;
+      }
+    }
+    if (!planted) {
+      AddViolation(&rep, opt, 0,
+                   "plant failed: no commit delta survives into the final "
+                   "pre-cut snapshot");
+      return rep;
+    }
+    *state = std::move(forged);
   }
 
   // ---- Oracle check. ----
@@ -506,8 +597,10 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
 
   // ---- Recovery idempotency: cut immediately after recovering, recover
   // again, and require the bit-identical state. (Skipped for kPrefix: an
-  // unsafe configuration may legitimately lose more on the second cut.)
-  if (tier != Tier::kPrefix) {
+  // unsafe configuration may legitimately lose more on the second cut.
+  // Skipped under plant_epoch_reorder: the in-memory state was forged, so
+  // comparing a real second recovery against it would be meaningless.)
+  if (tier != Tier::kPrefix && !opt.plant_epoch_reorder) {
     const Model first = *state;
     eng.Reset();
     s.device->PowerCut(s.io.now + 1);
@@ -532,6 +625,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   }
 
   rep.degraded = s.device->degraded();
+  check_epoch(&rep);  // Covers the idempotency cut.
   return rep;
 }
 

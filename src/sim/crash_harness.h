@@ -7,6 +7,7 @@
 
 #include "common/trace.h"
 #include "common/types.h"
+#include "host/durability_mode.h"
 
 namespace durassd {
 
@@ -87,6 +88,24 @@ class CrashHarness {
     /// budget, program/erase failures): invariants are unchanged — the
     /// device must absorb the faults.
     bool inject_faults = false;
+    /// Engine commit discipline (threaded into Wal / DoubleWriteBuffer /
+    /// KvStore). kBarrier makes commits durable via barrier submission; on
+    /// a volatile device the barrier degenerates to fsync, so the invariant
+    /// tier is unchanged by this knob. The default reproduces the pre-mode
+    /// behavior bit-for-bit.
+    DurabilityMode durability_mode = DurabilityMode::kDurableOrderedNcq;
+    /// Snap the cut instant to a barrier / sync completion boundary
+    /// enumerated from a probe-pass device trace (cut_fraction then selects
+    /// WHICH boundary instead of a fraction of the total runtime). This is
+    /// how epoch-edge instants — the moments the epoch oracle bites — get
+    /// exercised deterministically.
+    bool cut_at_barrier_boundary = false;
+    /// Negative self-test of the oracle: replace the recovered state with a
+    /// deliberately forged cross-epoch reordering (the last pre-cut epoch's
+    /// updates kept while an older epoch's are reverted) and expect the run
+    /// to report a violation. A Run with this set REPORTING ok is itself
+    /// the bug. Skips the idempotency phase.
+    bool plant_epoch_reorder = false;
     /// Optional: kInvariantViolation events are recorded here.
     Tracer* tracer = nullptr;
 

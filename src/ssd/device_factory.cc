@@ -45,4 +45,16 @@ std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
   return std::make_unique<SsdDevice>(c);
 }
 
+std::unique_ptr<BlockDevice> MakeDeviceForDurabilityMode(DurabilityMode mode,
+                                                         bool store_data) {
+  return MakeDevice(mode == DurabilityMode::kVolatileFlush
+                        ? DeviceModel::kSsdA
+                        : DeviceModel::kDuraSsd,
+                    /*cache_on=*/true, store_data);
+}
+
+bool WriteBarriersForDurabilityMode(DurabilityMode mode) {
+  return mode != DurabilityMode::kDurableOrderedNcq;
+}
+
 }  // namespace durassd

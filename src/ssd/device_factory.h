@@ -5,6 +5,7 @@
 #include <string>
 
 #include "host/block_device.h"
+#include "host/durability_mode.h"
 
 namespace durassd {
 
@@ -22,6 +23,20 @@ const char* DeviceModelName(DeviceModel model);
 /// `store_data` selects real-bytes vs timing-only mode.
 std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
                                         bool store_data);
+
+/// The deployment each durability mode contrasts (see DurabilityMode):
+/// kVolatileFlush -> SSD-A (volatile cache; fsync issues FLUSH CACHE),
+/// kDurableOrderedNcq / kBarrier -> DuraSSD (capacitor-backed cache; the
+/// former relies on the ordered NCQ, the latter on BARRIER epochs).
+std::unique_ptr<BlockDevice> MakeDeviceForDurabilityMode(DurabilityMode mode,
+                                                         bool store_data);
+
+/// Whether a host running in `mode` should mount with write barriers —
+/// i.e. whether fsync must issue FLUSH CACHE for durability. Only the
+/// paper's DuraSSD deployment (kDurableOrderedNcq) can drop them; barrier
+/// mode keeps them so that fsync-for-durability boundaries (checkpoints,
+/// clean shutdown) still reach media.
+bool WriteBarriersForDurabilityMode(DurabilityMode mode);
 
 }  // namespace durassd
 

@@ -70,6 +70,9 @@ BlockDevice::Result HddDevice::Execute(SimTime t, const Command& cmd) {
       return DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
     case Command::Op::kFlush:
       return DoFlush(t);
+    case Command::Op::kBarrier:
+      // No barrier support on disk: ordering requires the full drain.
+      return DoFlush(t);
   }
   return {Status::InvalidArgument("unknown command op"), t};
 }

@@ -64,6 +64,8 @@ SsdDevice::SsdDevice(SsdConfig config)
       h_flush_drain_ns_(metrics_.GetHistogram("ssd.flush_drain_ns")),
       c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")),
       c_destage_absorbed_(metrics_.Counter("ssd.destage_absorbed")),
+      c_barriers_(metrics_.Counter("ssd.barriers")),
+      h_epoch_size_(metrics_.GetHistogram("ssd.epoch_size")),
       h_qd_(metrics_.GetHistogram("ssd.qd")) {
   set_qd_histogram(h_qd_);
   set_queue_depth_limit(cfg_.host_queue_depth);
@@ -77,6 +79,10 @@ BlockDevice::Result SsdDevice::Execute(SimTime t, const Command& cmd) {
       return DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
     case Command::Op::kFlush:
       return DoFlush(t);
+    case Command::Op::kBarrier:
+      // Without barrier support (volatile cache / cache off) the only way
+      // to honor the ordering request is the full flush semantics.
+      return supports_barrier() ? DoBarrier(t) : DoFlush(t);
   }
   return {Status::InvalidArgument("unknown command op"), t};
 }
@@ -111,6 +117,7 @@ void SsdDevice::RollbackCommandEntries(Lpn lpn, uint32_t nsec, SimTime ack) {
       e.data = std::move(e.prev_data);
       e.ack = e.prev_ack;
       e.seq = e.prev_seq;
+      e.epoch = e.prev_epoch;
       e.has_prev = false;
       e.program_issue = kNeverProgrammed;
       e.program_start = 0;
@@ -199,7 +206,7 @@ SimTime SsdDevice::AcquireFrame(SimTime t) {
 }
 
 void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack,
-                                 uint64_t seq) {
+                                 uint64_t seq, uint64_t epoch) {
   const auto [it, inserted] = cache_.try_emplace(lpn);
   CacheEntry& e = it->second;
   if (!inserted) {
@@ -210,12 +217,14 @@ void SsdDevice::InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack,
     e.prev_data = std::move(e.data);
     e.prev_ack = e.ack;
     e.prev_seq = e.seq;
+    e.prev_epoch = e.epoch;
   }
   if (cfg_.store_data) {
     e.data.assign(sector.data(), sector.size());
   }
   e.ack = ack;
   e.seq = seq;
+  e.epoch = epoch;
   e.program_issue = kNeverProgrammed;
   e.program_start = 0;
   e.program_done = kNeverProgrammed;
@@ -426,13 +435,23 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
     ack = last_ordered_ack_;
     stats_.ordered_ack_clamps++;
   }
+  if (cur_epoch_ > 0 && ack < epoch_floor_ack_) {
+    // Barrier epochs: no write of epoch N+1 may acknowledge before every
+    // write of epoch N. Because durable-cache survival at a power cut is
+    // exactly ack <= cut, and ClampToAcks keeps program issue >= ack,
+    // this single clamp yields both guarantees the barrier contract
+    // needs: epoch-prefix recovery, and no epoch-N+1 program before
+    // epoch N is durably framed.
+    ack = epoch_floor_ack_;
+    stats_.epoch_ack_clamps++;
+  }
   const uint64_t seq = ++write_seq_;
 
   for (uint32_t i = 0; i < nsec; ++i) {
     InsertCacheEntry(lpn + i,
                      Slice(data.data() + static_cast<size_t>(i) * cfg_.sector_size,
                            cfg_.sector_size),
-                     ack, seq);
+                     ack, seq, cur_epoch_);
   }
 
   if (UseScheduler()) {
@@ -528,6 +547,10 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
 
   if (CutBeforeCompletion(ack)) return {Status::DeviceOffline(), now};
   if (ordered_writes()) last_ordered_ack_ = ack;
+  // Epoch bookkeeping is unconditional (pure state, no timing effect) so
+  // the first BARRIER correctly seals everything written since boot.
+  epoch_max_ack_ = std::max(epoch_max_ack_, ack);
+  epoch_writes_++;
   max_time_seen_ = std::max(max_time_seen_, ack);
   stats_.host_writes++;
   stats_.host_written_sectors += nsec;
@@ -709,6 +732,34 @@ BlockDevice::Result SsdDevice::DoFlush(SimTime now) {
   return {Status::OK(), done};
 }
 
+BlockDevice::Result SsdDevice::DoBarrier(SimTime now) {
+  if (MaybeTripScheduledCut(now)) return {Status::DeviceOffline(), now};
+  if (!powered_) return {Status::DeviceOffline(), now};
+  max_time_seen_ = std::max(max_time_seen_, now);
+
+  // A BARRIER is an ordering token, not I/O: the firmware snapshots the ack
+  // floor of everything received so far and tags later writes with the next
+  // epoch. It does not drain, does not touch NAND, and deliberately does
+  // not acquire the bus/fw/NCQ pipelines — command processing cost only.
+  // (Synchronous acks mean every prior write of this epoch is already
+  // acknowledged — i.e. durably framed in the capacitor-backed cache — so
+  // sealing is pure bookkeeping.)
+  const SimTime done = now + cfg_.bus_cmd_overhead + 2 * kMicrosecond;
+  if (CutBeforeCompletion(done)) return {Status::DeviceOffline(), now};
+
+  epoch_floor_ack_ = std::max(epoch_floor_ack_, epoch_max_ack_);
+  stats_.barriers++;
+  ++*c_barriers_;
+  h_epoch_size_->Record(static_cast<int64_t>(epoch_writes_));
+  if (tracer_) {
+    tracer_->Record(done, TraceEventType::kBarrier, cur_epoch_, epoch_writes_);
+  }
+  cur_epoch_++;
+  epoch_writes_ = 0;
+  max_time_seen_ = std::max(max_time_seen_, done);
+  return {Status::OK(), done};
+}
+
 void SsdDevice::DumpOnCapacitor(SimTime t) {
   // Everything acknowledged but not yet safely on NAND must reach the dump
   // area on capacitor power (Sec. 3.4.1), together with the dirty mapping
@@ -823,34 +874,48 @@ void SsdDevice::PowerCut(SimTime t) {
     // surviving entry may have been submitted after a dropped one.
     uint64_t min_dropped_seq = ~0ull;
     uint64_t max_kept_seq = 0;
+    uint64_t min_dropped_epoch = ~0ull;
+    uint64_t max_kept_epoch = 0;
     for (auto it = cache_.begin(); it != cache_.end();) {
       CacheEntry& e = it->second;
       if (e.ack > t) {
         stats_.dropped_incomplete++;
         min_dropped_seq = std::min(min_dropped_seq, e.seq);
+        min_dropped_epoch = std::min(min_dropped_epoch, e.epoch);
         if (e.has_prev && e.prev_ack <= t) {
           e.data = std::move(e.prev_data);
           e.ack = e.prev_ack;
           e.seq = e.prev_seq;
+          e.epoch = e.prev_epoch;
           e.has_prev = false;
           e.program_issue = kNeverProgrammed;
           e.program_start = 0;
           e.program_done = kNeverProgrammed;  // Needs replay.
           max_kept_seq = std::max(max_kept_seq, e.seq);
+          max_kept_epoch = std::max(max_kept_epoch, e.epoch);
           ++it;
         } else {
           if (e.has_prev) {
             min_dropped_seq = std::min(min_dropped_seq, e.prev_seq);
+            min_dropped_epoch = std::min(min_dropped_epoch, e.prev_epoch);
           }
           it = cache_.erase(it);
         }
       } else {
         max_kept_seq = std::max(max_kept_seq, e.seq);
+        max_kept_epoch = std::max(max_kept_epoch, e.epoch);
         ++it;
       }
     }
     if (ordered_writes() && min_dropped_seq < max_kept_seq) {
       stats_.ordering_violations++;
+    }
+    // Barrier contract: the survivors must form an epoch-consistent cut —
+    // losing any write of epoch N while keeping one from epoch M > N is a
+    // cross-epoch reordering (intra-epoch reordering is allowed, so equal
+    // epochs are fine).
+    if (cur_epoch_ > 0 && min_dropped_epoch < max_kept_epoch) {
+      stats_.epoch_ordering_violations++;
     }
     if (has_pending_half_ && cache_.count(pending_half_lpn_) == 0) {
       has_pending_half_ = false;
@@ -884,6 +949,10 @@ void SsdDevice::PowerCut(SimTime t) {
   flush_windows_.clear();
   max_time_seen_ = 0;
   last_ordered_ack_ = 0;  // The device clock restarts at PowerOn.
+  cur_epoch_ = 0;         // Epochs are per-power-session, like the NCQ order.
+  epoch_floor_ack_ = 0;
+  epoch_max_ack_ = 0;
+  epoch_writes_ = 0;
   // Host-visible async completions that had not reached their completion
   // instant die with the queue.
   AbortInFlight(t);
@@ -1058,6 +1127,10 @@ Status SsdDevice::Shutdown(SimTime now) {
   has_pending_half_ = false;
   pending_half_lpn_ = kInvalidLpn;
   last_ordered_ack_ = 0;
+  cur_epoch_ = 0;
+  epoch_floor_ack_ = 0;
+  epoch_max_ack_ = 0;
+  epoch_writes_ = 0;
   return Status::OK();
 }
 

@@ -67,6 +67,13 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
                                      ///< not-yet-issued destage (no second
                                      ///< NAND program).
     uint64_t destage_batches = 0;    ///< Scheduler drain rounds issued.
+    uint64_t barriers = 0;           ///< BARRIER commands (epochs sealed).
+    uint64_t epoch_ack_clamps = 0;   ///< Acks raised to the sealed-epoch
+                                     ///< floor (epoch-monotone ack order).
+    uint64_t epoch_ordering_violations = 0;  ///< A power cut kept a write
+                                             ///< from a newer epoch while
+                                             ///< losing one from an older
+                                             ///< epoch (must stay 0).
   };
 
   /// Device-level view of NAND fault handling, aggregated from the FTL
@@ -100,6 +107,16 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   /// invariant (stats().ordering_violations).
   bool ordered_writes() const override {
     return cfg_.durable_cache && cfg_.ordered_queue && cfg_.cache_enabled;
+  }
+  /// Barrier-enabled (Won et al.): a BARRIER seals the current epoch; the
+  /// epoch ack clamp then keeps every later write's acknowledgement at or
+  /// after the sealed epoch's last ack. Since a durable cache survives by
+  /// ack <= cut, a power cut always recovers an epoch-consistent prefix —
+  /// intra-epoch reordering allowed, cross-epoch never. Requires the
+  /// durable cache: "durably framed" means acked into capacitor-protected
+  /// frames, which volatile caches cannot provide.
+  bool supports_barrier() const override {
+    return cfg_.durable_cache && cfg_.cache_enabled;
   }
 
   /// Clean shutdown: FLUSH CACHE then power down without the emergency flag.
@@ -161,6 +178,7 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
     std::string data;          ///< Sector bytes; empty in timing-only mode.
     SimTime ack = 0;           ///< Command acknowledged (atomicity point).
     uint64_t seq = 0;          ///< Submission sequence of the owning command.
+    uint64_t epoch = 0;        ///< Barrier epoch the owning command joined.
     SimTime program_issue = 0;  ///< NAND program issued (kNeverProgrammed
                                 ///< until then); dump/rollback hinge on it.
     SimTime program_start = 0;
@@ -172,6 +190,7 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
     std::string prev_data;
     SimTime prev_ack = 0;
     uint64_t prev_seq = 0;
+    uint64_t prev_epoch = 0;
   };
 
   static constexpr SimTime kNeverProgrammed =
@@ -186,6 +205,7 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   Result DoWrite(SimTime now, Lpn lpn, Slice data);
   Result DoRead(SimTime now, Lpn lpn, uint32_t nsec, std::string* out);
   Result DoFlush(SimTime now);
+  Result DoBarrier(SimTime now);
 
   SimTime BusTime(uint32_t nsec, bool is_write) const;
   SimTime FwTime(uint32_t nsec, bool is_write) const;
@@ -218,7 +238,8 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   /// frames at program completion.
   void FinishDestage(const std::vector<Lpn>& group, SimTime issue,
                      SimTime start, SimTime done);
-  void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack, uint64_t seq);
+  void InsertCacheEntry(Lpn lpn, Slice sector, SimTime ack, uint64_t seq,
+                        uint64_t epoch);
   void EvictCleanIfNeeded();
   /// Mapping-journal persistence cost for `entries` dirty mapping entries.
   SimTime MappingPersistCost(size_t entries) const;
@@ -274,6 +295,15 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   SimTime last_ordered_ack_ = 0;
   /// Submission sequence number of write commands (ordering invariant).
   uint64_t write_seq_ = 0;
+  /// Barrier epochs. Zero until the first BARRIER arrives, so the epoch
+  /// machinery is inert (bit-for-bit identical timing) on hosts that never
+  /// submit barriers. A BARRIER seals epoch N by raising the ack floor to
+  /// the sealed epoch's last ack and bumping cur_epoch_; later writes clamp
+  /// their ack to the floor, making acks epoch-monotone.
+  uint64_t cur_epoch_ = 0;
+  SimTime epoch_floor_ack_ = 0;  ///< Max ack of all sealed epochs.
+  SimTime epoch_max_ack_ = 0;    ///< Max ack within the open epoch.
+  uint64_t epoch_writes_ = 0;    ///< Write commands in the open epoch.
   SimTime last_flush_start_ = -1;
   SimTime last_flush_done_ = -1;
   /// Recent FLUSH CACHE service windows (reads arriving inside one wait).
@@ -294,6 +324,8 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   Histogram* h_flush_drain_ns_;
   uint64_t* c_degraded_rejects_;
   uint64_t* c_destage_absorbed_;  ///< "ssd.destage_absorbed" counter.
+  uint64_t* c_barriers_;          ///< "ssd.barriers" counter.
+  Histogram* h_epoch_size_;  ///< Writes per sealed epoch ("ssd.epoch_size").
   Histogram* h_qd_;  ///< In-flight depth at each submission ("ssd.qd").
 };
 

@@ -72,7 +72,8 @@ FioResult RunFio(BlockDevice* device, const FioJob& job) {
       if (job.fsync_every != 0 && ++since_fsync >= job.fsync_every) {
         since_fsync = 0;
         drain();
-        const SimFile::IoResult s = file->Sync(now);
+        const SimFile::IoResult s =
+            job.barrier_sync ? file->Barrier(now) : file->Sync(now);
         if (s.status.ok()) now = std::max(now, s.done);
       }
     }
@@ -106,7 +107,8 @@ FioResult RunFio(BlockDevice* device, const FioJob& job) {
       if (job.fsync_every != 0 &&
           ++since_fsync[client] >= job.fsync_every) {
         since_fsync[client] = 0;
-        const SimFile::IoResult s = file->Sync(done);
+        const SimFile::IoResult s =
+            job.barrier_sync ? file->Barrier(done) : file->Sync(done);
         done = s.done;
       }
     } else {

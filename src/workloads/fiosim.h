@@ -32,6 +32,10 @@ struct FioJob {
   /// File size the random offsets span.
   uint64_t working_set_bytes = 256 * kMiB;
   uint64_t seed = 42;
+  /// Replace each fsync with a barrier submission (fbarrier) — the
+  /// barrier-enabled I/O stack row of the durability-mode ablation. Falls
+  /// back to a full fsync on devices without barrier support.
+  bool barrier_sync = false;
 };
 
 struct FioResult {

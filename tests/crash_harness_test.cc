@@ -51,6 +51,9 @@ constexpr double kSyncCuts[] = {0.2, 0.5, 0.85};
 constexpr double kNestedCuts[] = {0.3, 0.7};   // x2 engines x durable/volatile
 constexpr uint64_t kFaultSeeds[] = {5, 11, 17};  // x2 engines
 
+constexpr uint64_t kBarrierSeeds[] = {2, 8, 19};
+constexpr double kBarrierCuts[] = {0.2, 0.45, 0.7, 0.9};
+
 constexpr size_t kDbMatrixCombos =
     std::size(kDbConfigs) * std::size(kSeeds) * std::size(kCuts);
 constexpr size_t kKvMatrixCombos =
@@ -59,16 +62,28 @@ constexpr size_t kSyncModeCombos =
     2 * std::size(kSyncSeeds) * std::size(kSyncCuts);  // durable x volatile
 constexpr size_t kNestedCombos = 2 * 2 * std::size(kNestedCuts);
 constexpr size_t kFaultCombos = 2 * std::size(kFaultSeeds);
+// Barrier commit mode: engines x durable/volatile x seeds x cuts.
+constexpr size_t kBarrierModeCombos =
+    2 * 2 * std::size(kBarrierSeeds) * std::size(kBarrierCuts);
+// Boundary-snapped cut instants: 2 modes x engines x seeds x cuts.
+constexpr size_t kBoundaryCombos =
+    2 * 2 * std::size(kBarrierSeeds) * std::size(kBarrierCuts);
+constexpr size_t kBarrierFaultCombos = 2 * std::size(kBarrierSeeds);
 
 TEST(CrashHarnessCoverage, SweepsAtLeastTwoHundredCombos) {
   constexpr size_t total = kDbMatrixCombos + kKvMatrixCombos +
-                           kSyncModeCombos + kNestedCombos + kFaultCombos;
+                           kSyncModeCombos + kNestedCombos + kFaultCombos +
+                           kBarrierModeCombos + kBoundaryCombos +
+                           kBarrierFaultCombos;
   static_assert(total >= 200, "torture coverage shrank below the floor");
   EXPECT_GE(total, 200u) << "db=" << kDbMatrixCombos
                          << " kv=" << kKvMatrixCombos
                          << " sync=" << kSyncModeCombos
                          << " nested=" << kNestedCombos
-                         << " fault=" << kFaultCombos;
+                         << " fault=" << kFaultCombos
+                         << " barrier=" << kBarrierModeCombos
+                         << " boundary=" << kBoundaryCombos
+                         << " barrier_fault=" << kBarrierFaultCombos;
 }
 
 // --------------------------- Helpers ---------------------------------------
@@ -197,6 +212,111 @@ TEST(FaultInjectionSweep, CutsUnderNandFaults) {
       o.inject_faults = true;
       ExpectClean(o);
     }
+  }
+}
+
+// --------------------------- Barrier commit mode ---------------------------
+
+// Engines committing via BARRIER submission instead of fsync. On the
+// durable device the epoch machinery provides ordering (and the epoch
+// oracle audits every cut); on the volatile device the barrier degenerates
+// to a full fsync and the usual tier invariants apply unchanged.
+TEST(BarrierModeSweep, SurvivesRandomizedCuts) {
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    for (bool durable : {true, false}) {
+      for (uint64_t seed : kBarrierSeeds) {
+        for (double cut : kBarrierCuts) {
+          CrashHarness::Options o = Quick();
+          o.engine = engine;
+          o.durable_cache = durable;
+          o.write_barriers = true;
+          o.double_write = true;
+          o.kv_batch_size = 4;
+          o.durability_mode = DurabilityMode::kBarrier;
+          o.seed = seed;
+          o.cut_fraction = cut;
+          ExpectClean(o);
+        }
+      }
+    }
+  }
+}
+
+// Cuts snapped to barrier-seal / flush-completion instants enumerated from
+// the probe-pass device trace — the exact moments the epoch changes hands,
+// where an ordering bug would surface. Swept in both commit modes so flush
+// boundaries are exercised too.
+TEST(BarrierBoundarySweep, CutsAtEpochEdges) {
+  for (DurabilityMode mode :
+       {DurabilityMode::kDurableOrderedNcq, DurabilityMode::kBarrier}) {
+    for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+      for (uint64_t seed : kBarrierSeeds) {
+        for (double cut : kBarrierCuts) {
+          CrashHarness::Options o = Quick();
+          o.engine = engine;
+          o.durable_cache = true;
+          o.write_barriers = true;
+          o.double_write = true;
+          o.kv_batch_size = 4;
+          o.durability_mode = mode;
+          o.cut_at_barrier_boundary = true;
+          o.seed = seed;
+          o.cut_fraction = cut;
+          ExpectClean(o);
+        }
+      }
+    }
+  }
+}
+
+// Barrier mode with the NAND fault model live: program failures force the
+// destage scheduler to re-drive writes from already-sealed epochs; the
+// epoch guarantee must hold regardless.
+TEST(BarrierFaultSweep, CutsUnderNandFaults) {
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    for (uint64_t seed : kBarrierSeeds) {
+      CrashHarness::Options o = Quick();
+      o.engine = engine;
+      o.durable_cache = true;
+      o.write_barriers = true;
+      o.double_write = true;
+      o.kv_batch_size = 4;
+      o.durability_mode = DurabilityMode::kBarrier;
+      o.inject_faults = true;
+      o.seed = seed;
+      o.cut_fraction = 0.55;
+      ExpectClean(o);
+    }
+  }
+}
+
+// Negative self-test: forge a cross-epoch reordering into the recovered
+// state and require the oracle to reject it. A clean report here would
+// mean the oracle is blind to exactly the corruption barriers prevent.
+TEST(BarrierOracleSelfTest, PlantedCrossEpochReorderIsRejected) {
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    Tracer tracer;
+    CrashHarness::Options o = Quick();
+    o.engine = engine;
+    o.durable_cache = true;
+    o.write_barriers = true;
+    o.double_write = true;
+    o.kv_batch_size = 4;
+    o.durability_mode = DurabilityMode::kBarrier;
+    o.plant_epoch_reorder = true;
+    o.seed = 23;
+    o.cut_fraction = 0.9;  // Plenty of sealed commits to revert one of.
+    o.tracer = &tracer;
+    const CrashHarness::Report rep = CrashHarness::Run(o);
+    EXPECT_FALSE(rep.ok) << o.ToString()
+                         << "\n  oracle accepted a forged cross-epoch "
+                            "reordering";
+    EXPECT_FALSE(rep.violations.empty());
+    bool traced = false;
+    for (const TraceEvent& e : tracer.Events()) {
+      if (e.type == TraceEventType::kInvariantViolation) traced = true;
+    }
+    EXPECT_TRUE(traced) << "violation not recorded in the tracer";
   }
 }
 

@@ -63,15 +63,18 @@ TEST(CrashTorture, SeedRangeSweep) {
   int failures = 0;
   uint64_t ran = 0;
   for (uint64_t seed = lo; seed <= hi; ++seed) {
-    // Per seed: both engines on the two deployments the paper contrasts
-    // (durable cache vs volatile + barriers), two cut points each, plus a
-    // nested-cut and a fault-injection scenario on alternating seeds.
+    // Per seed: both engines across the three durability deployments
+    // (volatile + flush, durable + ordered NCQ, barrier-enabled), two cut
+    // points each, plus a nested-cut and a fault-injection scenario on
+    // alternating seeds.
     for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
-      for (bool durable : {true, false}) {
+      for (DurabilityMode mode :
+           {DurabilityMode::kVolatileFlush, DurabilityMode::kDurableOrderedNcq,
+            DurabilityMode::kBarrier}) {
         for (double cut : {0.25, 0.65}) {
           CrashHarness::Options o;
           o.engine = engine;
-          o.durable_cache = durable;
+          o.durable_cache = mode != DurabilityMode::kVolatileFlush;
           o.write_barriers = true;
           o.double_write = true;
           o.kv_batch_size = 4;
@@ -79,6 +82,11 @@ TEST(CrashTorture, SeedRangeSweep) {
           o.keyspace = 32;
           o.seed = seed;
           o.cut_fraction = cut;
+          o.durability_mode = mode;
+          // Barrier scenarios snap half their cuts to epoch edges, where
+          // a cross-epoch ordering bug would surface.
+          o.cut_at_barrier_boundary =
+              mode == DurabilityMode::kBarrier && cut >= 0.5;
           o.nested_cut = (seed % 2 == 0) && cut < 0.5;
           o.inject_faults = (seed % 2 == 1) && cut >= 0.5;
           // Alternate the queue mode and exercise async checkpoint
@@ -93,8 +101,8 @@ TEST(CrashTorture, SeedRangeSweep) {
     }
   }
   EXPECT_EQ(failures, 0);
-  // 8 scenarios per seed; the default range keeps local runs quick.
-  EXPECT_EQ(ran, (hi - lo + 1) * 8);
+  // 12 scenarios per seed; the default range keeps local runs quick.
+  EXPECT_EQ(ran, (hi - lo + 1) * 12);
 }
 
 }  // namespace
