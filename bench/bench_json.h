@@ -90,6 +90,9 @@ inline void AppendDeviceJson(const SsdDevice& dev, JsonWriter* w) {
   w->Key("host_reads"); w->Uint(s.host_reads);
   w->Key("host_read_sectors"); w->Uint(s.host_read_sectors);
   w->Key("cache_read_hits"); w->Uint(s.cache_read_hits);
+  w->Key("cache_read_misses"); w->Uint(s.cache_read_misses);
+  w->Key("cache_full_hits"); w->Uint(s.cache_full_hits);
+  w->Key("cache_partial_hits"); w->Uint(s.cache_partial_hits);
   w->Key("flushes"); w->Uint(s.flushes);
   w->Key("write_stalls"); w->Uint(s.write_stalls);
   w->Key("write_stall_time_ns"); w->Int(s.write_stall_time);
@@ -101,6 +104,12 @@ inline void AppendDeviceJson(const SsdDevice& dev, JsonWriter* w) {
   w->Key("destage_absorbed"); w->Uint(s.destage_absorbed);
   w->Key("destage_batches"); w->Uint(s.destage_batches);
   w->Key("multi_plane_programs"); w->Uint(dev.flash().stats().multi_plane_programs);
+  w->Key("log_segments"); w->Uint(s.log_segments);
+  w->Key("log_segment_sectors"); w->Uint(s.log_segment_sectors);
+  w->Key("log_replayed_segments"); w->Uint(s.log_replayed_segments);
+  w->Key("log_torn_segments"); w->Uint(s.log_torn_segments);
+  w->Key("log_recovered_sectors"); w->Uint(s.log_recovered_sectors);
+  w->Key("log_dropped_sectors"); w->Uint(s.log_dropped_sectors);
   w->Key("write_amplification"); w->Double(dev.WriteAmplification());
   w->EndObject();
   w->Key("faults");

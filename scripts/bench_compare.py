@@ -9,8 +9,13 @@ be regenerated with `./run_benches.sh --quick --json`).
 Usage:
     scripts/bench_compare.py BASELINE CURRENT [--tolerance 0.10]
 
-Exit status: 0 when no throughput metric dropped more than the tolerance
-below the baseline (new rows/benches are fine, improvements are fine);
+Guarded metrics: per-row throughput (higher is better), plus the
+GUARDED_VALUES scalars when a baseline row carries them — currently
+write_amplification (lower is better) and cache_hit_ratio (higher is
+better).
+
+Exit status: 0 when no guarded metric moved more than the tolerance in
+its bad direction (new rows/benches are fine, improvements are fine);
 1 when a regression or a removed row/bench was found; 2 on usage errors.
 """
 
@@ -30,6 +35,59 @@ def load(path):
 
 def rows_by_name(bench_doc):
     return {r["name"]: r for r in bench_doc.get("results", []) if "name" in r}
+
+
+# Scalar outputs in a row's "values" section that act as regression gates
+# alongside throughput. Direction says which way is worse: write
+# amplification regresses when it rises, cache-hit ratio when it drops.
+GUARDED_VALUES = {
+    "write_amplification": "lower_is_better",
+    "cache_hit_ratio": "higher_is_better",
+}
+
+
+def compare_values(bench_name, row_name, base_row, cur_row, tolerance,
+                   regressions, notes):
+    """Compares GUARDED_VALUES entries present in the baseline row.
+
+    Returns the number of value metrics compared.
+    """
+    base_vals = base_row.get("values") or {}
+    cur_vals = cur_row.get("values") or {}
+    compared = 0
+    for key, direction in GUARDED_VALUES.items():
+        if key not in base_vals:
+            continue
+        if key not in cur_vals:
+            regressions.append(f"{bench_name}/{row_name}: {key} metric missing")
+            continue
+        compared += 1
+        b, c = float(base_vals[key]), float(cur_vals[key])
+        if direction == "lower_is_better":
+            ceiling = b * (1.0 + tolerance)
+            if c > ceiling:
+                regressions.append(
+                    f"{bench_name}/{row_name}: {key} {c:.3f} > "
+                    f"{ceiling:.3f} (baseline {b:.3f} + {tolerance:.0%})"
+                )
+            elif b > 0 and c < b * (1.0 - tolerance):
+                notes.append(
+                    f"{bench_name}/{row_name}: {key} improved "
+                    f"{b:.3f} -> {c:.3f} (consider refreshing the baseline)"
+                )
+        else:
+            floor = b * (1.0 - tolerance)
+            if c < floor:
+                regressions.append(
+                    f"{bench_name}/{row_name}: {key} {c:.3f} < "
+                    f"{floor:.3f} (baseline {b:.3f} - {tolerance:.0%})"
+                )
+            elif c > b * (1.0 + tolerance):
+                notes.append(
+                    f"{bench_name}/{row_name}: {key} improved "
+                    f"{b:.3f} -> {c:.3f} (consider refreshing the baseline)"
+                )
+    return compared
 
 
 def main():
@@ -73,7 +131,8 @@ def main():
         cur_rows = rows_by_name(cur[bench_name])
         for row_name, base_row in rows_by_name(base_doc).items():
             base_tp = base_row.get("throughput")
-            if not base_tp:
+            base_vals = base_row.get("values") or {}
+            if not base_tp and not any(k in base_vals for k in GUARDED_VALUES):
                 continue
             cur_row = cur_rows.get(row_name)
             if cur_row is None:
@@ -81,26 +140,30 @@ def main():
                 # they fail so the baseline refresh is never forgotten.
                 regressions.append(f"{bench_name}/{row_name}: row missing")
                 continue
-            cur_tp = cur_row.get("throughput")
-            if not cur_tp:
-                regressions.append(
-                    f"{bench_name}/{row_name}: throughput metric missing"
-                )
-                continue
-            compared += 1
-            b, c = float(base_tp["value"]), float(cur_tp["value"])
-            unit = base_tp.get("unit", "")
-            floor = b * (1.0 - args.tolerance)
-            if c < floor:
-                regressions.append(
-                    f"{bench_name}/{row_name}: {c:.0f} {unit} < "
-                    f"{floor:.0f} (baseline {b:.0f} - {args.tolerance:.0%})"
-                )
-            elif c > b * (1.0 + args.tolerance):
-                notes.append(
-                    f"{bench_name}/{row_name}: improved {b:.0f} -> {c:.0f} "
-                    f"{unit} (consider refreshing the baseline)"
-                )
+            if base_tp:
+                cur_tp = cur_row.get("throughput")
+                if not cur_tp:
+                    regressions.append(
+                        f"{bench_name}/{row_name}: throughput metric missing"
+                    )
+                    continue
+                compared += 1
+                b, c = float(base_tp["value"]), float(cur_tp["value"])
+                unit = base_tp.get("unit", "")
+                floor = b * (1.0 - args.tolerance)
+                if c < floor:
+                    regressions.append(
+                        f"{bench_name}/{row_name}: {c:.0f} {unit} < "
+                        f"{floor:.0f} (baseline {b:.0f} - {args.tolerance:.0%})"
+                    )
+                elif c > b * (1.0 + args.tolerance):
+                    notes.append(
+                        f"{bench_name}/{row_name}: improved {b:.0f} -> "
+                        f"{c:.0f} {unit} (consider refreshing the baseline)"
+                    )
+            compared += compare_values(
+                bench_name, row_name, base_row, cur_row, args.tolerance,
+                regressions, notes)
 
     for n in notes:
         print(f"note: {n}")

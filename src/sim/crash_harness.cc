@@ -74,6 +74,9 @@ struct Stack {
     SsdConfig dc =
         opt.durable_cache ? SsdConfig::DuraSsd() : SsdConfig::SsdA();
     if (opt.durable_cache) dc.ordered_queue = opt.ordered_queue;
+    if (opt.durable_cache && opt.log_structured_destage) {
+      dc.destage_mode = SsdConfig::DestageMode::kLogStructured;
+    }
     dc.geometry = FlashGeometry::Tiny();
     dc.geometry.blocks_per_plane = 256;
     dc.geometry.pages_per_block = 32;
@@ -331,6 +334,7 @@ std::string CrashHarness::Options::ToString() const {
      << " ops_per_txn=" << ops_per_txn << " keyspace=" << keyspace
      << " cut_fraction=" << cut_fraction << " nested=" << nested_cut
      << " faults=" << inject_faults << " ordered=" << ordered_queue
+     << " log_destage=" << log_structured_destage
      << " ckpt_qd=" << checkpoint_queue_depth
      << " mode=" << DurabilityModeName(durability_mode)
      << " cut_at_boundary=" << cut_at_barrier_boundary

@@ -70,6 +70,11 @@ class CrashHarness {
     /// force the unordered queue so cuts land with out-of-order
     /// acknowledgments in flight.
     bool ordered_queue = true;
+    /// Durable-cache devices only: destage pending sectors as large
+    /// sequential log segments (checksummed header + data stripe) instead
+    /// of in-place page programs. Invariants are unchanged — the log adds
+    /// a checksummed replay pass before the dump replay on recovery.
+    bool log_structured_destage = false;
     /// DB only: checkpoint destage queue depth — > 1 exercises the async
     /// submit/complete path, so cuts land with commands in flight.
     uint32_t checkpoint_queue_depth = 1;

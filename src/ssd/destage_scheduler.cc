@@ -27,6 +27,18 @@ void DestageScheduler::CompactFifo() {
   fifo_ = std::move(live);
 }
 
+std::vector<Lpn> DestageScheduler::TakePending(size_t max_sectors) {
+  std::vector<Lpn> out;
+  out.reserve(std::min(max_sectors, pending_.size()));
+  while (!fifo_.empty() && out.size() < max_sectors) {
+    const Lpn lpn = fifo_.front();
+    fifo_.pop_front();
+    if (pending_.erase(lpn) == 0) continue;  // Stale (absorbed or removed).
+    out.push_back(lpn);
+  }
+  return out;
+}
+
 Status DestageScheduler::DrainRound(SimTime t, size_t max_pages) {
   if (max_pages == 0) max_pages = opts_.batch_pages;
   return Drain(t, max_pages, /*include_partial=*/false);

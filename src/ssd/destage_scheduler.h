@@ -91,6 +91,13 @@ class DestageScheduler {
   /// frame pressure).
   Status DrainAll(SimTime t);
 
+  /// Pops up to `max_sectors` pending sectors in arrival order (stale fifo
+  /// entries skipped), removing them from the pending set. Log-structured
+  /// destage uses this to build one segment and issue it as a whole; the
+  /// caller owns the popped sectors and must re-Add any it fails to
+  /// program.
+  std::vector<Lpn> TakePending(size_t max_sectors);
+
  private:
   Status Drain(SimTime t, size_t max_pages, bool include_partial);
   /// Drops fifo_ entries whose LPN is no longer pending (absorbed rewrites

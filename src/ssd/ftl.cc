@@ -19,9 +19,13 @@ Ftl::Ftl(FlashArray* flash, Options options)
   assert(g.page_size % opts_.sector_size == 0);
   sectors_per_page_ = g.page_size / opts_.sector_size;
   assert(sectors_per_page_ >= 1 && sectors_per_page_ <= 4);
-  assert(opts_.dump_blocks_per_plane < g.blocks_per_plane);
+  assert(opts_.dump_blocks_per_plane + opts_.log_blocks_per_plane <
+         g.blocks_per_plane);
 
   first_dump_block_ = g.blocks_per_plane - opts_.dump_blocks_per_plane;
+  first_log_block_ = first_dump_block_ - opts_.log_blocks_per_plane;
+  log_pages_total_ = static_cast<uint64_t>(opts_.log_blocks_per_plane) *
+                     g.total_planes() * g.pages_per_block;
   dump_ppns_.reserve(static_cast<size_t>(opts_.dump_blocks_per_plane) *
                      g.total_planes() * g.pages_per_block);
   for (uint32_t plane = 0; plane < g.total_planes(); ++plane) {
@@ -32,20 +36,21 @@ Ftl::Ftl(FlashArray* flash, Options options)
     }
   }
 
-  const uint64_t dump_bytes = static_cast<uint64_t>(dump_ppns_.size()) *
-                              g.page_size;
-  const double usable =
-      (static_cast<double>(g.total_bytes()) - static_cast<double>(dump_bytes)) *
-      (1.0 - opts_.over_provision);
+  const uint64_t reserved_bytes =
+      (static_cast<uint64_t>(dump_ppns_.size()) + log_pages_total_) *
+      g.page_size;
+  const double usable = (static_cast<double>(g.total_bytes()) -
+                         static_cast<double>(reserved_bytes)) *
+                        (1.0 - opts_.over_provision);
   logical_sectors_ =
       usable <= 0 ? 0 : static_cast<uint64_t>(usable) / opts_.sector_size;
 
   reverse_.assign(g.total_pages() * sectors_per_page_, kInvalidLpn);
   planes_.resize(g.total_planes());
   for (auto& plane : planes_) {
-    plane.free_blocks.reserve(first_dump_block_);
+    plane.free_blocks.reserve(first_log_block_);
     // LIFO: push in reverse so block 0 is allocated first (determinism).
-    for (uint32_t b = first_dump_block_; b-- > 0;) {
+    for (uint32_t b = first_log_block_; b-- > 0;) {
       plane.free_blocks.push_back(b);
     }
   }
@@ -469,11 +474,11 @@ Status Ftl::RunGc(SimTime now, uint32_t plane_idx) {
   }
 
   // Greedy victim: fewest valid pages among full (non-active, non-free,
-  // non-dump) blocks; erase count breaks ties (mild wear leveling).
+  // non-dump, non-log) blocks; erase count breaks ties (mild wear leveling).
   uint32_t victim = ~0u;
   uint32_t best_valid = std::numeric_limits<uint32_t>::max();
   uint32_t best_wear = std::numeric_limits<uint32_t>::max();
-  for (uint32_t b = 0; b < first_dump_block_; ++b) {
+  for (uint32_t b = 0; b < first_log_block_; ++b) {
     if (b == plane.active_block) continue;
     if (flash_->is_bad_block(plane_idx, b)) continue;
     if (IsRetirePending(plane_idx, b)) continue;
@@ -686,6 +691,99 @@ SimTime Ftl::EraseDumpArea(SimTime now) {
     }
   }
   return done;
+}
+
+Status Ftl::PrepareLogBlock(SimTime now, uint32_t plane, uint32_t block) {
+  if (flash_->next_program_page(plane, block) == 0) {
+    return Status::OK();  // Still erased from the previous lap.
+  }
+  // FIFO log cleaning: by the time the head wraps back, most sectors in
+  // the oldest row have been superseded; the few survivors move into the
+  // main area through the regular relocation path (for_gc allocations, so
+  // this cannot recurse into GC).
+  DURASSD_RETURN_IF_ERROR(RelocateLiveSectors(now, plane, block));
+  stats_.log_reclaims++;
+  SimTime erase_done = 0;
+  const Status st = flash_->EraseBlock(now, plane, block, &erase_done);
+  // An erase failure grew a bad block; the append cursor skips it.
+  (void)st;
+  return Status::OK();
+}
+
+StatusOr<Ppn> Ftl::AppendLogPage(SimTime now, Slice data, SimTime* start,
+                                 SimTime* done) {
+  if (log_pages_total_ == 0) {
+    return Status::InvalidArgument("no log region reserved");
+  }
+  if (degraded_) {
+    stats_.degraded_rejects++;
+    return Status::ResourceExhausted("device is read-only: " +
+                                     degraded_reason_);
+  }
+  const FlashGeometry& g = flash_->geometry();
+  const uint32_t planes = g.total_planes();
+  for (uint64_t attempt = 0; attempt < log_pages_total_; ++attempt) {
+    const uint64_t idx = log_head_ % log_pages_total_;
+    const uint32_t plane = static_cast<uint32_t>(idx % planes);
+    const uint64_t off = idx / planes;
+    const uint32_t block =
+        first_log_block_ + static_cast<uint32_t>(off / g.pages_per_block);
+    const uint32_t page = static_cast<uint32_t>(off % g.pages_per_block);
+    if (flash_->is_bad_block(plane, block)) {
+      log_head_++;
+      continue;
+    }
+    if (page == 0) {
+      // Entering a block: reclaim it if the previous lap wrote it.
+      DURASSD_RETURN_IF_ERROR(PrepareLogBlock(now, plane, block));
+      if (flash_->is_bad_block(plane, block)) {
+        log_head_++;
+        continue;
+      }
+    }
+    const Ppn ppn = g.MakePpn(plane, block, page);
+    const Status st = flash_->ProgramPage(now, ppn, data, done, start);
+    log_head_++;  // The page is consumed whether or not the program stuck.
+    if (st.ok()) {
+      stats_.host_programs++;
+      stats_.log_appends++;
+      if (h_program_ns_ != nullptr) h_program_ns_->Record(*done - now);
+      return ppn;
+    }
+    if (!st.IsIoError()) return st;
+    // Program-status failure: the garbage page stays behind (recovery's
+    // checksums reject it) and the append retries on the next page.
+    stats_.program_retries++;
+  }
+  return Status::IoError("log region has no programmable page");
+}
+
+void Ftl::MapLogSector(Lpn lpn, Ppn ppn, uint32_t slot, SimTime issue,
+                       SimTime start, SimTime done) {
+  RecordDelta(lpn, issue, start, done);
+  auto it = map_.find(lpn);
+  if (it != map_.end()) KillSlot(it->second);
+  map_[lpn] = Pack(ppn, slot);
+  reverse_[ppn * sectors_per_page_ + slot] = lpn;
+}
+
+bool Ftl::IsMappedTo(Lpn lpn, Ppn ppn, uint32_t slot) const {
+  auto it = map_.find(lpn);
+  return it != map_.end() && it->second == Pack(ppn, slot);
+}
+
+bool Ftl::UnmapIfPointsTo(Lpn lpn, Ppn ppn, uint32_t slot) {
+  auto it = map_.find(lpn);
+  if (it == map_.end() || it->second != Pack(ppn, slot)) return false;
+  KillSlot(it->second);
+  map_.erase(it);
+  delta_.erase(lpn);
+  return true;
+}
+
+Status Ftl::ReadPhysicalPage(SimTime now, Ppn ppn, std::string* out,
+                             SimTime* done) {
+  return ReadPageChecked(now, ppn, out, done);
 }
 
 }  // namespace durassd

@@ -50,6 +50,10 @@ class Ftl {
     /// Owner's metrics registry; the FTL registers its own metrics under
     /// the "ftl." prefix. May be null (no metrics collected).
     MetricsRegistry* metrics = nullptr;
+    /// Blocks per plane reserved as the sequential log region, carved out
+    /// directly below the dump area. 0 = no log region (legacy layout,
+    /// bit-identical allocation behavior).
+    uint32_t log_blocks_per_plane = 0;
   };
 
   struct SectorWrite {
@@ -70,6 +74,9 @@ class Ftl {
     uint64_t program_retries = 0;     ///< Programs retried on a fresh page.
     uint64_t degraded_rejects = 0;    ///< Host programs rejected while
                                       ///< degraded.
+    uint64_t log_appends = 0;         ///< Pages appended to the log region.
+    uint64_t log_reclaims = 0;        ///< Log blocks reclaimed (live data
+                                      ///< relocated + erased) on wrap.
   };
 
   Ftl(FlashArray* flash, Options options);
@@ -113,6 +120,37 @@ class Ftl {
                     SimTime* done = nullptr, bool* torn = nullptr);
 
   bool IsMapped(Lpn lpn) const { return map_.count(lpn) != 0; }
+
+  // --- Log region (log-structured destage, ROADMAP item 2) ---
+  /// Total pages in the reserved log region (0 = no log region).
+  uint64_t log_pages_total() const { return log_pages_total_; }
+  /// Appends one physical page at the log head cursor, which advances
+  /// strictly sequentially through the log region, striped one page per
+  /// plane per row. Wrapping into a previously written block first
+  /// relocates its still-live sectors into the main area and erases it
+  /// (FIFO log cleaning). A failed program skips that page and tries the
+  /// next one. Leaves the mapping untouched — the caller maps data pages
+  /// with MapLogSector; header pages are never mapped.
+  StatusOr<Ppn> AppendLogPage(SimTime now, Slice data, SimTime* start,
+                              SimTime* done);
+  /// Points `lpn` at (ppn, slot) of a freshly appended log data page:
+  /// kills the superseded slot, updates the map, and records the delta
+  /// exactly like ProgramSectors — so power-cut rollback treats a sector
+  /// destaged through the log identically to one destaged in place.
+  void MapLogSector(Lpn lpn, Ppn ppn, uint32_t slot, SimTime issue,
+                    SimTime start, SimTime done);
+  /// True iff `lpn` currently maps exactly to (ppn, slot). Recovery uses
+  /// this to skip log-directory entries superseded by later writes,
+  /// relocations, or rollback.
+  bool IsMappedTo(Lpn lpn, Ppn ppn, uint32_t slot) const;
+  /// Unmaps `lpn` iff it still points at (ppn, slot) — checksum-validated
+  /// torn-segment truncation on recovery. Returns true when unmapped.
+  bool UnmapIfPointsTo(Lpn lpn, Ppn ppn, uint32_t slot);
+  /// Reads a raw physical page through the ECC model (log segment
+  /// validation on recovery). Same contract as the internal checked read:
+  /// kCorruption with the damaged bytes in `out` when uncorrectable.
+  Status ReadPhysicalPage(SimTime now, Ppn ppn, std::string* out,
+                          SimTime* done);
 
   // --- Mapping persistence / crash model ---
   size_t dirty_mapping_entries() const { return delta_.size(); }
@@ -241,12 +279,29 @@ class Ftl {
   bool IsDumpBlock(uint32_t block) const {
     return block >= first_dump_block_;
   }
+  bool IsLogBlock(uint32_t block) const {
+    return block >= first_log_block_ && block < first_dump_block_;
+  }
+  /// Makes a log block writable again before the wrapping head re-enters
+  /// it: still-live sectors relocate into the main area (FIFO cleaning),
+  /// then the block is erased. An erase failure grows a bad block the
+  /// append cursor skips.
+  Status PrepareLogBlock(SimTime now, uint32_t plane, uint32_t block);
 
   FlashArray* flash_;
   Options opts_;
   uint32_t sectors_per_page_;
   uint64_t logical_sectors_;
   uint32_t first_dump_block_;
+  /// Log region: blocks [first_log_block_, first_dump_block_) of every
+  /// plane. first_log_block_ == first_dump_block_ when no log region is
+  /// reserved (legacy layout).
+  uint32_t first_log_block_;
+  /// Pages in the log region; 0 disables AppendLogPage.
+  uint64_t log_pages_total_ = 0;
+  /// Global append cursor (page index into the striped log layout: plane =
+  /// idx % planes, then pages in block order within the plane). Wraps.
+  uint64_t log_head_ = 0;
   /// Dump pages in program order; shrinks when a dump block goes bad.
   std::vector<Ppn> dump_ppns_;
   static uint64_t RetireKey(uint32_t plane, uint32_t block) {

@@ -1,6 +1,7 @@
 #ifndef DURASSD_SSD_SSD_CONFIG_H_
 #define DURASSD_SSD_SSD_CONFIG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -28,6 +29,29 @@ struct SsdConfig {
   uint32_t gc_free_block_threshold = 2;
   /// Blocks per plane reserved as the power-loss dump area (Sec. 3.4.1).
   uint32_t dump_blocks_per_plane = 2;
+
+  // --- Destage placement policy (ROADMAP item 2, dm-writeboost style) ---
+  /// How the lazy destage scheduler places drained sectors on NAND:
+  enum class DestageMode {
+    /// Per-page programs through the page-mapping FTL's normal allocator
+    /// (the paper's design, and the bit-identical legacy behavior).
+    kInPlace,
+    /// Coalesce the pending buffer into large sequential log segments
+    /// (header page with the LPN map + per-sector CRC32C, then data pages
+    /// striped one per plane) appended to a dedicated log region. Segments
+    /// are validated by checksum on recovery and a torn tail segment is
+    /// truncated. Requires the durable cache and the lazy scheduler
+    /// (destage_batch_pages > 1); ignored otherwise.
+    kLogStructured,
+  };
+  DestageMode destage_mode = DestageMode::kInPlace;
+  /// Blocks per plane reserved as the sequential log region. 0 = auto:
+  /// max(2, blocks_per_plane / 8) when kLogStructured, none for kInPlace.
+  uint32_t log_blocks_per_plane = 0;
+  /// Data pages per log segment (the header page is extra). 0 = auto: one
+  /// page per plane minus the header, clamped so the segment's LPN map +
+  /// CRCs fit one header page.
+  uint32_t log_segment_pages = 0;
 
   // --- Device cache ---
   /// Write cache enabled ("Storage Cache ON" rows of Table 1). When false
@@ -137,14 +161,51 @@ struct SsdConfig {
   /// Fresh pages tried when a NAND program reports failure.
   uint32_t program_retry_limit = 3;
 
+  /// Log-region reservation with the 0 = auto default resolved. Zero unless
+  /// the device actually runs log-structured destage (which needs the lazy
+  /// scheduler on a durable-cache device).
+  uint32_t resolved_log_blocks_per_plane() const {
+    if (destage_mode != DestageMode::kLogStructured || !cache_enabled ||
+        !durable_cache || destage_batch_pages <= 1) {
+      return 0;
+    }
+    const uint32_t want = log_blocks_per_plane != 0
+                              ? log_blocks_per_plane
+                              : std::max(2u, geometry.blocks_per_plane / 8);
+    // Never eat into the dump area or the last few main-area blocks.
+    const uint32_t ceiling =
+        geometry.blocks_per_plane > dump_blocks_per_plane + 4
+            ? geometry.blocks_per_plane - dump_blocks_per_plane - 4
+            : 0;
+    return std::min(want, ceiling);
+  }
+
+  /// Data pages per log segment with the 0 = auto default resolved: one
+  /// page per plane (minus the header page), clamped so the header's LPN
+  /// map + per-sector CRC32C entries fit one page.
+  uint32_t resolved_log_segment_pages() const {
+    uint32_t pages = log_segment_pages != 0
+                         ? log_segment_pages
+                         : std::max(1u, geometry.total_planes() - 1);
+    // Header layout: magic u32 + seq u64 + count u32 + count * (lpn u64 +
+    // crc u32) + header crc u32 = 20 + 12 * count bytes.
+    const uint32_t sectors_per_page = geometry.page_size / sector_size;
+    const uint32_t max_sectors = (geometry.page_size - 20) / 12;
+    pages = std::min(pages, std::max(1u, max_sectors / sectors_per_page));
+    return pages;
+  }
+
   uint64_t logical_sectors() const {
     const double usable =
         static_cast<double>(geometry.total_bytes()) * (1.0 - over_provision);
-    // Dump area is also carved out of raw capacity.
-    const uint64_t dump_bytes = static_cast<uint64_t>(dump_blocks_per_plane) *
-                                geometry.total_planes() *
-                                geometry.pages_per_block * geometry.page_size;
-    const double net = usable - static_cast<double>(dump_bytes);
+    // Dump area and log region are also carved out of raw capacity.
+    const uint64_t reserved_blocks =
+        static_cast<uint64_t>(dump_blocks_per_plane) +
+        resolved_log_blocks_per_plane();
+    const uint64_t reserved_bytes = reserved_blocks * geometry.total_planes() *
+                                    geometry.pages_per_block *
+                                    geometry.page_size;
+    const double net = usable - static_cast<double>(reserved_bytes);
     return net <= 0 ? 0 : static_cast<uint64_t>(net) / sector_size;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
@@ -11,6 +12,7 @@ namespace durassd {
 namespace {
 constexpr uint32_t kDumpMagic = 0xD0D0CAFE;
 constexpr uint32_t kDumpEntryMagic = 0xD0D0BEEF;
+constexpr uint32_t kLogSegmentMagic = 0xD0D01065;
 constexpr SimTime kFlushEmptyOverhead = 100 * kMicrosecond;
 constexpr SimTime kCleanBootTime = 1 * kMillisecond;
 constexpr SimTime kVolatileRecoveryScan = 50 * kMillisecond;
@@ -46,7 +48,8 @@ SsdDevice::SsdDevice(SsdConfig config)
                                  cfg_.read_retry_limit,
                                  cfg_.program_retry_limit,
                                  cfg_.idle_aware_allocation,
-                                 &metrics_}),
+                                 &metrics_,
+                                 cfg_.resolved_log_blocks_per_plane()}),
       bus_(1),
       fw_(cfg_.fw_parallelism),
       ncq_(cfg_.ncq_depth),
@@ -65,10 +68,14 @@ SsdDevice::SsdDevice(SsdConfig config)
       c_degraded_rejects_(metrics_.Counter("ssd.degraded_rejects")),
       c_destage_absorbed_(metrics_.Counter("ssd.destage_absorbed")),
       c_barriers_(metrics_.Counter("ssd.barriers")),
+      c_cache_read_sectors_(metrics_.Counter("ssd.cache_read_sectors")),
+      c_cache_read_misses_(metrics_.Counter("ssd.cache_read_misses")),
+      c_log_segments_(metrics_.Counter("ssd.log_segments")),
       h_epoch_size_(metrics_.GetHistogram("ssd.epoch_size")),
       h_qd_(metrics_.GetHistogram("ssd.qd")) {
   set_qd_histogram(h_qd_);
   set_queue_depth_limit(cfg_.host_queue_depth);
+  log_segment_pages_ = cfg_.resolved_log_segment_pages();
 }
 
 BlockDevice::Result SsdDevice::Execute(SimTime t, const Command& cmd) {
@@ -168,29 +175,56 @@ SimTime SsdDevice::AcquireFrame(SimTime t) {
     // sectors pending; the degraded checks on the command path surface it.
     const size_t media_slots = static_cast<size_t>(
         cfg_.geometry.total_planes() * ftl_.sectors_per_page());
-    if (UseScheduler() && scheduler_.pending_full_pages() > 0 &&
-        outstanding_.size() < media_slots) {
-      stats_.destage_batches++;
-      if (tracer_) {
-        tracer_->Record(t, TraceEventType::kDestageBatch,
-                        scheduler_.pending_sectors(), 2);
+    if (UseLogDestage()) {
+      if (scheduler_.pending_sectors() >= SegmentSectors() &&
+          outstanding_.size() < media_slots) {
+        stats_.destage_batches++;
+        if (tracer_) {
+          tracer_->Record(t, TraceEventType::kDestageBatch,
+                          scheduler_.pending_sectors(), 2);
+        }
+        (void)DrainLogSegments(t, /*include_partial=*/false);
+        while (!outstanding_.empty() && outstanding_.top() <= t) {
+          outstanding_.pop();
+        }
       }
-      (void)scheduler_.DrainRound(t, cfg_.geometry.total_planes());
-      while (!outstanding_.empty() && outstanding_.top() <= t) {
-        outstanding_.pop();
+      if (outstanding_.empty() && !scheduler_.empty()) {
+        // Nothing in flight to wait on: a short tail segment beats a stall.
+        stats_.destage_batches++;
+        if (tracer_) {
+          tracer_->Record(t, TraceEventType::kDestageBatch,
+                          scheduler_.pending_sectors(), 2);
+        }
+        (void)DrainLogSegments(t, /*include_partial=*/true);
+        while (!outstanding_.empty() && outstanding_.top() <= t) {
+          outstanding_.pop();
+        }
       }
-    }
-    if (outstanding_.empty() && UseScheduler() && !scheduler_.empty()) {
-      // Nothing in flight to wait on and the buffer is all pending partial
-      // pages (tiny buffers): force them out, half-filled or not.
-      stats_.destage_batches++;
-      if (tracer_) {
-        tracer_->Record(t, TraceEventType::kDestageBatch,
-                        scheduler_.pending_sectors(), 2);
+    } else {
+      if (UseScheduler() && scheduler_.pending_full_pages() > 0 &&
+          outstanding_.size() < media_slots) {
+        stats_.destage_batches++;
+        if (tracer_) {
+          tracer_->Record(t, TraceEventType::kDestageBatch,
+                          scheduler_.pending_sectors(), 2);
+        }
+        (void)scheduler_.DrainRound(t, cfg_.geometry.total_planes());
+        while (!outstanding_.empty() && outstanding_.top() <= t) {
+          outstanding_.pop();
+        }
       }
-      (void)scheduler_.DrainAll(t);
-      while (!outstanding_.empty() && outstanding_.top() <= t) {
-        outstanding_.pop();
+      if (outstanding_.empty() && UseScheduler() && !scheduler_.empty()) {
+        // Nothing in flight to wait on and the buffer is all pending partial
+        // pages (tiny buffers): force them out, half-filled or not.
+        stats_.destage_batches++;
+        if (tracer_) {
+          tracer_->Record(t, TraceEventType::kDestageBatch,
+                          scheduler_.pending_sectors(), 2);
+        }
+        (void)scheduler_.DrainAll(t);
+        while (!outstanding_.empty() && outstanding_.top() <= t) {
+          outstanding_.pop();
+        }
       }
     }
     if (!outstanding_.empty()) {
@@ -334,6 +368,12 @@ void SsdDevice::MaybeIdleDrain(SimTime now) {
   if (!UseScheduler() || scheduler_.empty()) return;
   const SimTime deadline = scheduler_.last_add_time() + cfg_.destage_idle_ns;
   if (now < deadline) return;
+  // Log mode keeps sub-segment tails coalescing in the durable cache: they
+  // are already ack-durable via the capacitor, and draining a short segment
+  // wastes a header page and fragments the log region.
+  if (UseLogDestage() && scheduler_.pending_sectors() < SegmentSectors()) {
+    return;
+  }
   // The device used its own idle time: the drain is issued at the idle
   // deadline, which is causally safe (every pending byte was cached by
   // then) and models destage having happened before this command arrived.
@@ -342,7 +382,11 @@ void SsdDevice::MaybeIdleDrain(SimTime now) {
     tracer_->Record(deadline, TraceEventType::kDestageBatch,
                     scheduler_.pending_sectors(), 1);
   }
-  (void)scheduler_.DrainAll(deadline);
+  if (UseLogDestage()) {
+    (void)DrainLogSegments(deadline, /*include_partial=*/false);
+  } else {
+    (void)scheduler_.DrainAll(deadline);
+  }
 }
 
 BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
@@ -462,6 +506,36 @@ BlockDevice::Result SsdDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
         stats_.destage_absorbed++;
         ++*c_destage_absorbed_;
       }
+    }
+    if (UseLogDestage()) {
+      // Log-structured destage has exactly one trigger here: a full
+      // segment's worth of pending sectors. No idle-media opportunism —
+      // issuing sub-segment batches would fragment the log and forfeit
+      // the sequential-program win the mode exists for.
+      while (scheduler_.pending_sectors() >= SegmentSectors()) {
+        stats_.destage_batches++;
+        if (tracer_) {
+          tracer_->Record(ack, TraceEventType::kDestageBatch,
+                          scheduler_.pending_sectors(), 0);
+        }
+        Status s = DrainLogSegments(ack, /*include_partial=*/false);
+        if (!s.ok()) {
+          RollbackCommandEntries(lpn, nsec, ack);
+          return {s, now};
+        }
+      }
+      if (ftl_.dirty_mapping_entries() > cfg_.mapping_autopersist_threshold) {
+        ftl_.PersistMapping();
+      }
+      if (CutBeforeCompletion(ack)) return {Status::DeviceOffline(), now};
+      if (ordered_writes()) last_ordered_ack_ = ack;
+      epoch_max_ack_ = std::max(epoch_max_ack_, ack);
+      epoch_writes_++;
+      max_time_seen_ = std::max(max_time_seen_, ack);
+      stats_.host_writes++;
+      stats_.host_written_sectors += nsec;
+      if (tracer_) tracer_->Record(ack, TraceEventType::kCmdAck, lpn, nsec);
+      return {Status::OK(), ack};
     }
     const bool batch_ready =
         scheduler_.pending_full_pages() >= cfg_.destage_batch_pages;
@@ -597,20 +671,26 @@ BlockDevice::Result SsdDevice::DoRead(SimTime now, Lpn lpn, uint32_t nsec,
   }
   SimTime media_done = fw.done;
   Status read_status = Status::OK();
+  uint32_t hit_sectors = 0;
   for (uint32_t i = 0; i < nsec; ++i) {
     const Lpn cur = lpn + i;
     auto it = cache_.find(cur);
-    if (it != cache_.end()) {
+    // A cache entry serves the read only when it can actually supply the
+    // bytes: always in timing-only runs (out == nullptr), and in data runs
+    // only when the frame holds a payload. A timing-only write followed by
+    // a data read must fall through to the media — returning zeros for a
+    // mapped sector would corrupt the host (the original read-path bug).
+    const bool hit = it != cache_.end() &&
+                     (out == nullptr || !it->second.data.empty());
+    if (hit) {
       stats_.cache_read_hits++;
-      if (out != nullptr) {
-        if (!it->second.data.empty()) {
-          out->append(it->second.data);
-        } else {
-          out->append(cfg_.sector_size, '\0');
-        }
-      }
+      ++*c_cache_read_sectors_;
+      hit_sectors++;
+      if (out != nullptr) out->append(it->second.data);
       continue;
     }
+    stats_.cache_read_misses++;
+    ++*c_cache_read_misses_;
     std::string sector;
     SimTime done = fw.done;
     const Status rs =
@@ -619,6 +699,11 @@ BlockDevice::Result SsdDevice::DoRead(SimTime now, Lpn lpn, uint32_t nsec,
     media_done = std::max(media_done, done);
     if (out != nullptr) out->append(sector);
     if (!rs.ok() && read_status.ok()) read_status = rs;
+  }
+  if (hit_sectors == nsec) {
+    stats_.cache_full_hits++;
+  } else if (hit_sectors > 0) {
+    stats_.cache_partial_hits++;
   }
 
   const ResourceTimeline::Grant bus =
@@ -664,7 +749,11 @@ BlockDevice::Result SsdDevice::DoFlush(SimTime now) {
     return {Status::OK(), done};
   }
 
-  if (UseScheduler() && !scheduler_.empty()) {
+  // Log-structured destage skips the FLUSH drain on purpose: the mode
+  // requires the durable cache, so every acknowledged pending sector is
+  // already covered by the capacitor dump, and forcing a partial segment
+  // out here would fragment the log for zero durability gain.
+  if (UseScheduler() && !UseLogDestage() && !scheduler_.empty()) {
     // FLUSH CACHE drains the write cache: everything pending is issued
     // before the drain wait below, partial page included.
     stats_.destage_batches++;
@@ -1076,6 +1165,226 @@ SimTime SsdDevice::ReplayDump() {
   return erased;
 }
 
+Status SsdDevice::DrainLogSegments(SimTime t, bool include_partial) {
+  while (scheduler_.pending_sectors() >= SegmentSectors()) {
+    DURASSD_RETURN_IF_ERROR(
+        AppendLogSegment(t, scheduler_.TakePending(SegmentSectors())));
+  }
+  if (include_partial && !scheduler_.empty()) {
+    DURASSD_RETURN_IF_ERROR(
+        AppendLogSegment(t, scheduler_.TakePending(SegmentSectors())));
+  }
+  return Status::OK();
+}
+
+Status SsdDevice::AppendLogSegment(SimTime t, const std::vector<Lpn>& taken) {
+  if (taken.empty()) return Status::OK();
+  t = ClampToAcks(t, taken);
+  const uint32_t spp = ftl_.sectors_per_page();
+
+  // Header: segment sequence plus an (LPN, payload CRC) pair per sector, so
+  // replay can both locate every payload and validate it without trusting
+  // the (volatile) mapping table. Timing-only runs skip the bytes but still
+  // pay the header program.
+  std::string header;
+  if (cfg_.store_data) {
+    PutFixed32(&header, kLogSegmentMagic);
+    PutFixed64(&header, log_seq_ + 1);
+    PutFixed32(&header, static_cast<uint32_t>(taken.size()));
+    for (Lpn lpn : taken) {
+      auto it = cache_.find(lpn);
+      assert(it != cache_.end());
+      PutFixed32(&header,
+                 Crc32c(it->second.data.data(), it->second.data.size()));
+      PutFixed64(&header, lpn);
+    }
+    PutFixed32(&header, Crc32c(header.data(), header.size()));
+  }
+
+  // A failed append leaves the untouched tail pending again: the sectors
+  // stay acknowledged in the durable cache, so durability is unaffected
+  // and a later drain (or the capacitor dump) picks them up.
+  const auto requeue = [this, t](const std::vector<Lpn>& rest, size_t from) {
+    for (size_t i = from; i < rest.size(); ++i) scheduler_.Add(rest[i], t);
+  };
+
+  SimTime hdr_start = 0;
+  SimTime hdr_done = 0;
+  StatusOr<Ppn> hdr =
+      ftl_.AppendLogPage(t, Slice(header), &hdr_start, &hdr_done);
+  if (!hdr.ok()) {
+    requeue(taken, 0);
+    return hdr.status();
+  }
+
+  LogSegmentRec rec;
+  rec.seq = ++log_seq_;
+  rec.header_ppn = hdr.value();
+  rec.sectors = 0;
+  for (size_t off = 0; off < taken.size(); off += spp) {
+    const size_t n = std::min<size_t>(spp, taken.size() - off);
+    std::string page;
+    if (cfg_.store_data) {
+      for (size_t j = 0; j < n; ++j) {
+        auto it = cache_.find(taken[off + j]);
+        assert(it != cache_.end());
+        page.append(it->second.data);
+      }
+    }
+    SimTime ps = 0;
+    SimTime pd = 0;
+    StatusOr<Ppn> ppn = ftl_.AppendLogPage(t, Slice(page), &ps, &pd);
+    if (!ppn.ok()) {
+      // Keep what was programmed (already mapped below); the header simply
+      // over-claims and replay treats the missing tail as never written.
+      requeue(taken, off);
+      if (rec.sectors > 0) log_dir_.push_back(std::move(rec));
+      return ppn.status();
+    }
+    std::vector<Lpn> group(taken.begin() + off, taken.begin() + off + n);
+    for (size_t j = 0; j < n; ++j) {
+      ftl_.MapLogSector(group[j], ppn.value(), static_cast<uint32_t>(j), t,
+                        ps, pd);
+    }
+    FinishDestage(group, t, ps, pd);
+    h_destage_ns_->Record(pd - t);
+    if (tracer_) {
+      tracer_->Record(pd, TraceEventType::kDestageDone, group[0],
+                      group.size());
+    }
+    rec.data_ppns.push_back(ppn.value());
+    rec.sectors += static_cast<uint32_t>(n);
+  }
+
+  stats_.log_segments++;
+  stats_.log_segment_sectors += rec.sectors;
+  ++*c_log_segments_;
+  log_dir_.push_back(std::move(rec));
+  // The directory mirrors what a physical scan of the log region would
+  // find; once the append cursor laps a segment its pages have been
+  // reclaimed, so anything older than one full lap is dead weight.
+  const size_t max_dir =
+      ftl_.log_pages_total() / (SegmentDataPages() + 1) + 8;
+  while (log_dir_.size() > max_dir) log_dir_.pop_front();
+  return Status::OK();
+}
+
+SimTime SsdDevice::RecoverCache() {
+  if (log_dir_.empty()) return 0;
+  SimTime t = 0;
+  const FlashGeometry& g = cfg_.geometry;
+  const SimTime page_read_cost = g.read_latency + g.channel_transfer_time();
+
+  if (!cfg_.store_data) {
+    // Timing-only runs: charge the header + data reads a physical replay
+    // would perform; the mapping itself already survived via the issued-
+    // program rollback rule.
+    for (const LogSegmentRec& rec : log_dir_) {
+      t += page_read_cost * static_cast<SimTime>(1 + rec.data_ppns.size());
+      stats_.log_replayed_segments++;
+    }
+    log_dir_.clear();
+    if (tracer_) {
+      tracer_->Record(t, TraceEventType::kReplay, stats_.log_replayed_segments,
+                      stats_.log_recovered_sectors);
+    }
+    return t;
+  }
+
+  // Newest to oldest, so the first (ppn, slot) the live mapping confirms
+  // for an LPN is its authoritative copy and older ones are skipped.
+  std::unordered_set<Lpn> seen;
+  const uint32_t spp = ftl_.sectors_per_page();
+  for (auto it = log_dir_.rbegin(); it != log_dir_.rend(); ++it) {
+    const LogSegmentRec& rec = *it;
+    std::string header;
+    const Status hs = ftl_.ReadPhysicalPage(t, rec.header_ppn, &header,
+                                            nullptr);
+    t += page_read_cost;
+
+    bool header_valid = false;
+    uint32_t count = 0;
+    std::vector<std::pair<Lpn, uint32_t>> map;  // (lpn, payload crc)
+    if (hs.ok()) {
+      Slice h(header);
+      uint32_t magic = 0;
+      uint64_t seq = 0;
+      if (GetFixed32(&h, &magic) && magic == kLogSegmentMagic &&
+          GetFixed64(&h, &seq) && GetFixed32(&h, &count) &&
+          h.size() >= static_cast<size_t>(count) * 12 + 4) {
+        const size_t crc_pos = 16 + static_cast<size_t>(count) * 12;
+        uint32_t stored_crc = 0;
+        std::memcpy(&stored_crc, header.data() + crc_pos, sizeof(stored_crc));
+        if (Crc32c(header.data(), crc_pos) == stored_crc) {
+          header_valid = true;
+          for (uint32_t i = 0; i < count; ++i) {
+            uint32_t crc = 0;
+            uint64_t lpn = 0;
+            GetFixed32(&h, &crc);
+            GetFixed64(&h, &lpn);
+            map.emplace_back(lpn, crc);
+          }
+        }
+      }
+    }
+    if (!header_valid) {
+      // Torn or damaged header — the segment cannot be validated. Its
+      // mappings were either rolled back (programs issued after the cut)
+      // or point at pages the capacitor quiesce completed; the dump replay
+      // that follows re-covers anything acknowledged-but-unissued. Nothing
+      // to unmap here: dropping mappings on an unreadable header would
+      // convert a detectable error into silent data loss.
+      stats_.log_torn_segments++;
+      continue;
+    }
+
+    stats_.log_replayed_segments++;
+    std::string page;
+    uint32_t page_idx = ~0u;
+    Status page_status = Status::OK();
+    for (uint32_t i = 0; i < count; ++i) {
+      const auto [lpn, crc] = map[i];
+      if (i / spp >= rec.data_ppns.size()) continue;  // Never programmed.
+      if (seen.count(lpn) != 0) continue;
+      const Ppn ppn = rec.data_ppns[i / spp];
+      const uint32_t slot = i % spp;
+      if (!ftl_.IsMappedTo(lpn, ppn, slot)) continue;  // Rolled back / stale.
+      seen.insert(lpn);
+      if (i / spp != page_idx) {
+        page_idx = i / spp;
+        page.clear();
+        page_status = ftl_.ReadPhysicalPage(t, ppn, &page, nullptr);
+        t += page_read_cost;
+      }
+      if (!page_status.ok()) {
+        // Uncorrectable read: keep the mapping so host reads see the damage
+        // (and its error) instead of silently-recovered zeros.
+        stats_.log_recovered_sectors++;
+        continue;
+      }
+      const size_t off = static_cast<size_t>(slot) * cfg_.sector_size;
+      if (page.size() >= off + cfg_.sector_size &&
+          Crc32c(page.data() + off, cfg_.sector_size) == crc) {
+        stats_.log_recovered_sectors++;
+      } else {
+        // The page reads clean but holds the wrong bytes (shorn program the
+        // quiesce missed): truncate — drop the mapping so the dump replay
+        // or the pre-overwrite copy wins instead of torn data.
+        if (ftl_.UnmapIfPointsTo(lpn, ppn, slot)) {
+          stats_.log_dropped_sectors++;
+        }
+      }
+    }
+  }
+  log_dir_.clear();
+  ftl_.PersistMapping();
+  if (tracer_) {
+    tracer_->Record(t, TraceEventType::kReplay, stats_.log_replayed_segments,
+                    stats_.log_recovered_sectors);
+  }
+  return t;
+}
+
 SimTime SsdDevice::PowerOn() {
   if (powered_) return 0;
   powered_ = true;
@@ -1087,6 +1396,10 @@ SimTime SsdDevice::PowerOn() {
   SimTime duration = kCleanBootTime;  // Controller boot + capacitor recharge.
   if (emergency_shutdown_) {
     if (cfg_.durable_cache) {
+      // Log-structured destage first: validate every surviving segment
+      // against its checksummed header (truncating a torn tail) before the
+      // dump replay re-programs acknowledged-but-unissued sectors.
+      if (UseLogDestage()) duration += RecoverCache();
       duration += ReplayDump();
     } else {
       duration += kVolatileRecoveryScan;
@@ -1115,8 +1428,14 @@ Status SsdDevice::Shutdown(SimTime now) {
       tracer_->Record(now, TraceEventType::kDestageBatch,
                       scheduler_.pending_sectors(), 3);
     }
-    DURASSD_RETURN_IF_ERROR(scheduler_.DrainAll(now));
+    if (UseLogDestage()) {
+      DURASSD_RETURN_IF_ERROR(
+          DrainLogSegments(now, /*include_partial=*/true));
+    } else {
+      DURASSD_RETURN_IF_ERROR(scheduler_.DrainAll(now));
+    }
   }
+  log_dir_.clear();  // Clean shutdown: every segment is fully destaged.
   const Result r = Flush(now);
   DURASSD_RETURN_IF_ERROR(r.status);
   powered_ = false;

@@ -47,7 +47,11 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
     uint64_t host_written_sectors = 0;
     uint64_t host_reads = 0;
     uint64_t host_read_sectors = 0;
-    uint64_t cache_read_hits = 0;
+    uint64_t cache_read_hits = 0;    ///< Sectors served from the cache.
+    uint64_t cache_read_misses = 0;  ///< Sectors that went to the FTL
+                                     ///< (host_read_sectors = hits+misses).
+    uint64_t cache_full_hits = 0;    ///< Read commands fully cache-served.
+    uint64_t cache_partial_hits = 0; ///< Read commands with a sector mix.
     uint64_t flushes = 0;
     uint64_t write_stalls = 0;       ///< Writes that waited for a frame.
     SimTime write_stall_time = 0;
@@ -74,6 +78,16 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
                                              ///< from a newer epoch while
                                              ///< losing one from an older
                                              ///< epoch (must stay 0).
+    // --- Log-structured destage (destage_mode == kLogStructured) ---
+    uint64_t log_segments = 0;         ///< Segments appended to the log.
+    uint64_t log_segment_sectors = 0;  ///< Sectors destaged via segments.
+    uint64_t log_replayed_segments = 0;  ///< Segments validated clean on
+                                         ///< recovery.
+    uint64_t log_torn_segments = 0;    ///< Segments with a lost header or a
+                                       ///< failed sector checksum.
+    uint64_t log_recovered_sectors = 0;  ///< Sectors checksum-validated OK.
+    uint64_t log_dropped_sectors = 0;  ///< Torn sectors truncated (unmapped)
+                                       ///< by recovery validation.
   };
 
   /// Device-level view of NAND fault handling, aggregated from the FTL
@@ -170,6 +184,20 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   /// written (GC included). The endurance argument of Sec. 1 & 6.
   double WriteAmplification() const;
 
+  /// Log-structured destage active? Requires the lazy scheduler and the
+  /// durable cache: acked-but-pending sectors stay durable via the
+  /// capacitor dump while they wait to fill a whole segment.
+  bool UseLogDestage() const {
+    return UseScheduler() && cfg_.durable_cache &&
+           cfg_.destage_mode == SsdConfig::DestageMode::kLogStructured &&
+           ftl_.log_pages_total() > 0;
+  }
+  /// Data pages per log segment (the header page is extra).
+  uint32_t SegmentDataPages() const { return log_segment_pages_; }
+  uint32_t SegmentSectors() const {
+    return log_segment_pages_ * ftl_.sectors_per_page();
+  }
+
  protected:
   Result Execute(SimTime t, const Command& cmd) override;
 
@@ -215,6 +243,22 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   bool UseScheduler() const {
     return cfg_.cache_enabled && cfg_.destage_batch_pages > 1;
   }
+  /// Drains pending scheduler sectors into sequential log segments at time
+  /// t: full segments only, plus a final short segment when
+  /// `include_partial`. Sectors a failed append could not program are
+  /// re-queued.
+  Status DrainLogSegments(SimTime t, bool include_partial);
+  /// Builds and appends one segment (header page: LPN map + per-sector
+  /// CRC32C, then data pages) from `taken`, mapping each data sector and
+  /// recording its program window.
+  Status AppendLogSegment(SimTime t, const std::vector<Lpn>& taken);
+  /// Recovery pass over the log directory (newest segment first): reads
+  /// each segment header, validates every still-mapped sector's bytes
+  /// against the header's CRC32C, and truncates (unmaps) torn sectors. A
+  /// segment whose header is gone — torn tail, or pages freed by the
+  /// power-cut rollback — is counted torn and its rolled-back sectors are
+  /// simply skipped. Returns the virtual time the scan+validation cost.
+  SimTime RecoverCache();
   /// Blocks until a write-buffer frame is free; returns the (possibly
   /// delayed) time at which the frame was obtained. In lazy mode, frames
   /// are held by both in-flight programs (outstanding_) and pending
@@ -285,6 +329,24 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   /// Lazy destage scheduler (UseScheduler(); no-op in legacy eager mode).
   DestageScheduler scheduler_;
 
+  /// One appended log segment: where its header and data pages landed.
+  /// The simulator keeps this directory in controller RAM as the scan
+  /// index; recovery still reads and checksums the on-media header, so a
+  /// torn or reused segment is detected by content, not bookkeeping.
+  struct LogSegmentRec {
+    uint64_t seq = 0;
+    Ppn header_ppn = 0;
+    std::vector<Ppn> data_ppns;
+    uint32_t sectors = 0;
+  };
+  /// Segments not yet known-persistent (cleared by clean shutdown and
+  /// after recovery validation), newest at the back. Bounded by one full
+  /// lap of the log region — anything older has been overwritten.
+  std::deque<LogSegmentRec> log_dir_;
+  uint64_t log_seq_ = 0;
+  /// Resolved segment size (data pages; 0 when log mode is off).
+  uint32_t log_segment_pages_ = 0;
+
   bool powered_ = true;
   bool emergency_shutdown_ = false;
   bool cut_armed_ = false;
@@ -325,6 +387,9 @@ class SsdDevice : public BlockDevice, private DestageScheduler::Sink {
   uint64_t* c_degraded_rejects_;
   uint64_t* c_destage_absorbed_;  ///< "ssd.destage_absorbed" counter.
   uint64_t* c_barriers_;          ///< "ssd.barriers" counter.
+  uint64_t* c_cache_read_sectors_;  ///< "ssd.cache_read_sectors" (hits).
+  uint64_t* c_cache_read_misses_;   ///< "ssd.cache_read_misses".
+  uint64_t* c_log_segments_;        ///< "ssd.log_segments" counter.
   Histogram* h_epoch_size_;  ///< Writes per sealed epoch ("ssd.epoch_size").
   Histogram* h_qd_;  ///< In-flight depth at each submission ("ssd.qd").
 };

@@ -273,6 +273,38 @@ TEST(FaultInjectionDeviceTest, ArmedButSilentInjectorChangesNothing) {
   EXPECT_EQ(armed.ftl().stats().ecc_corrected, 0u);
 }
 
+TEST(FaultInjectionDeviceTest, LostDumpHeaderFallsBackToFullScan) {
+  // The dump header page is the single point replay trusts for the entry
+  // count. Lose it to an uncorrectable read and recovery must degrade to
+  // the full self-describing scan — not drop the dump.
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  cfg.read_retry_limit = 0;      // One-shot scripted flips stay effective.
+  cfg.ecc_correctable_bits = 8;  // Budget far below the scripted burst.
+  SsdDevice dev(cfg);
+
+  // Enough back-to-back writes to saturate the media: the tail sectors are
+  // still pending (never issued) at the cut, so they exist only in the dump.
+  SimTime t = 0;
+  for (Lpn l = 0; l < 16; ++l) {
+    const auto w = dev.Write(t, l, SectorData('H' + l));
+    ASSERT_TRUE(w.status.ok());
+    t = w.done;
+  }
+  dev.PowerCut(t);
+  ASSERT_GT(dev.stats().dumped_pages, 0u);
+  // First flash read after the cut is ReplayDump's header read.
+  dev.fault_injector().FlipBitsOnReadAfter(0, 4096);
+  dev.PowerOn();
+
+  EXPECT_GE(dev.fault_stats().uncorrectable_reads, 1u);
+  EXPECT_GT(dev.stats().replayed_pages, 0u);  // Fallback scan found entries.
+  for (Lpn l = 0; l < 16; ++l) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, l, 1, &got).status.ok()) << "lpn " << l;
+    EXPECT_EQ(got, SectorData('H' + l)) << "lpn " << l;
+  }
+}
+
 TEST(FaultInjectionDeviceTest, DumpSurvivesProgramFailDuringCapacitorDump) {
   SsdConfig cfg = SsdConfig::Tiny(true);
   SsdDevice dev(cfg);

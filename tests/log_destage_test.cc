@@ -1,0 +1,277 @@
+// Log-structured destage segments (ROADMAP item 2):
+//   - segments append to the reserved log region and read back exactly after
+//     a clean reboot,
+//   - a power cut at any of 60+ instants recovers every acknowledged sector
+//     (capacitor dump + checksummed segment replay),
+//   - a segment whose header page is lost on recovery is counted torn and
+//     truncated without losing any acknowledged sector,
+//   - the append cursor wraps, reclaiming log blocks (relocating any live
+//     sectors) without corrupting data,
+//   - on a flush-heavy workload the log mode programs measurably fewer NAND
+//     pages than in-place lazy destage (the write-amplification win).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+namespace {
+
+constexpr uint32_t kSector = 4 * kKiB;
+
+SsdConfig LogConfig() {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  cfg.geometry.blocks_per_plane = 64;
+  cfg.geometry.pages_per_block = 16;
+  cfg.write_buffer_sectors = 256;
+  cfg.cache_capacity_sectors = 512;
+  cfg.capacitor_budget_bytes = 4 * kMiB;
+  cfg.destage_batch_pages = 256;
+  cfg.destage_mode = SsdConfig::DestageMode::kLogStructured;
+  return cfg;
+}
+
+std::string Value(int i, char tag = 'l') {
+  std::string v = std::string(1, tag) + "-sector-" + std::to_string(i) + "-";
+  v.resize(kSector, 'p');
+  return v;
+}
+
+TEST(LogDestageTest, SegmentsAppendAndReadBackAfterReboot) {
+  SsdConfig cfg = LogConfig();
+  SsdDevice dev(cfg);
+  ASSERT_TRUE(dev.UseLogDestage());
+  ASSERT_GT(dev.SegmentSectors(), 0u);
+
+  constexpr int kWrites = 64;
+  SimTime t = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    const auto w = dev.Write(t, static_cast<Lpn>(i), Value(i));
+    ASSERT_TRUE(w.status.ok());
+    t = w.done;
+  }
+  EXPECT_GT(dev.stats().log_segments, 0u);
+  EXPECT_GT(dev.ftl().stats().log_appends, 0u);
+
+  // Clean shutdown drains the partial tail segment; after reboot the cache
+  // is cold, so every read must come from the log-mapped NAND pages.
+  ASSERT_TRUE(dev.Shutdown(t).ok());
+  dev.PowerOn();
+  for (int i = 0; i < kWrites; ++i) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, static_cast<Lpn>(i), 1, &got).status.ok());
+    EXPECT_EQ(got, Value(i)) << "lpn " << i;
+  }
+}
+
+TEST(LogDestageTest, CacheServesReadsWithRealBytes) {
+  SsdDevice dev(LogConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 8; ++i) {
+    t = dev.Write(t, static_cast<Lpn>(i), Value(i, 'c')).done;
+  }
+  // While resident, reads are cache hits carrying the written bytes.
+  const uint64_t flash_reads_before = dev.flash().stats().reads;
+  for (int i = 0; i < 8; ++i) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(t, static_cast<Lpn>(i), 1, &got).status.ok());
+    EXPECT_EQ(got, Value(i, 'c')) << "lpn " << i;
+  }
+  EXPECT_EQ(dev.flash().stats().reads, flash_reads_before);
+  EXPECT_GE(dev.stats().cache_read_hits, 8u);
+}
+
+// The power-cut oracle: every command acknowledged before the cut must read
+// back intact after recovery, for 60 distinct cut instants. In log mode most
+// destaged sectors live in segments; the rest exist only in the dump.
+TEST(LogDestageTest, PowerCutSweepRecoversEveryAckedSector) {
+  constexpr int kWrites = 150;
+
+  // Dry run to learn the ack times and total duration.
+  std::vector<SimTime> acks(kWrites, 0);
+  SimTime end = 0;
+  {
+    SsdDevice dev(LogConfig());
+    SimTime t = 0;
+    for (int i = 0; i < kWrites; ++i) {
+      auto r = dev.Write(t, static_cast<Lpn>(i), Value(i));
+      ASSERT_TRUE(r.status.ok());
+      acks[i] = r.done;
+      t = r.done;
+    }
+    end = t;
+  }
+  ASSERT_GT(end, 0);
+
+  uint64_t total_dumped = 0;
+  uint64_t total_segments = 0;
+  uint64_t total_replayed = 0;
+  const int kCuts = 60;  // >= 60 distinct instants (acceptance floor).
+  for (int c = 1; c <= kCuts; ++c) {
+    const SimTime cut = 1 + (end * c) / (kCuts + 1);
+    SsdDevice dev(LogConfig());
+    SimTime t = 0;
+    for (int i = 0; i < kWrites && t < cut; ++i) {
+      t = dev.Write(t, static_cast<Lpn>(i), Value(i)).done;
+    }
+    dev.PowerCut(cut);
+    dev.PowerOn();
+    total_dumped += dev.stats().dumped_pages;
+    total_segments += dev.stats().log_segments;
+    total_replayed += dev.stats().log_replayed_segments;
+    // No torn tail may drop a sector the host was told is durable.
+    EXPECT_EQ(dev.stats().log_dropped_sectors, 0u) << "cut=" << cut;
+    for (int i = 0; i < kWrites; ++i) {
+      if (acks[i] > cut) break;
+      std::string got;
+      ASSERT_TRUE(dev.Read(0, static_cast<Lpn>(i), 1, &got).status.ok());
+      EXPECT_EQ(got, Value(i)) << "cut=" << cut << " lost acked write " << i;
+    }
+  }
+  // The sweep must have exercised both recovery paths.
+  EXPECT_GT(total_dumped, 0u);
+  EXPECT_GT(total_segments, 0u);
+  EXPECT_GT(total_replayed, 0u);
+}
+
+TEST(LogDestageTest, LostSegmentHeaderIsCountedTornWithoutDataLoss) {
+  SsdConfig cfg = LogConfig();
+  cfg.read_retry_limit = 0;  // One-shot scripted flips must not be retried.
+  SsdDevice dev(cfg);
+
+  constexpr int kWrites = 48;
+  SimTime t = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    t = dev.Write(t, static_cast<Lpn>(i), Value(i, 'h')).done;
+  }
+  ASSERT_GT(dev.stats().log_segments, 0u);
+
+  dev.PowerCut(t);
+  // The first flash read after the cut is the newest segment's header page
+  // (RecoverCache validates newest to oldest): make it uncorrectable.
+  dev.fault_injector().FlipBitsOnReadAfter(0, 4096);
+  dev.PowerOn();
+
+  EXPECT_GE(dev.stats().log_torn_segments, 1u);
+  EXPECT_EQ(dev.stats().log_dropped_sectors, 0u);
+  // The segment's mappings survived the capacitor quiesce, so no
+  // acknowledged sector may be lost to the unreadable header.
+  for (int i = 0; i < kWrites; ++i) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, static_cast<Lpn>(i), 1, &got).status.ok());
+    EXPECT_EQ(got, Value(i, 'h')) << "lpn " << i;
+  }
+}
+
+TEST(LogDestageTest, AppendCursorWrapsAndReclaimsWithoutCorruption) {
+  SsdConfig cfg = LogConfig();
+  cfg.log_blocks_per_plane = 2;  // 2 * 16 * 4 = 128 log pages: wraps fast.
+  SsdDevice dev(cfg);
+  ASSERT_TRUE(dev.UseLogDestage());
+
+  // Enough volume to lap the log region several times. A narrow LPN range
+  // leaves live sectors inside reclaimed log blocks (relocation coverage)
+  // while fresh LPNs keep appending.
+  constexpr int kRounds = 5;
+  constexpr int kSpan = 120;
+  SimTime t = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < kSpan; ++i) {
+      const auto w =
+          dev.Write(t, static_cast<Lpn>(i), Value(r * 1000 + i, 'w'));
+      ASSERT_TRUE(w.status.ok());
+      t = w.done;
+    }
+  }
+  EXPECT_GT(dev.ftl().stats().log_reclaims, 0u);
+
+  ASSERT_TRUE(dev.Shutdown(t).ok());
+  dev.PowerOn();
+  for (int i = 0; i < kSpan; ++i) {
+    std::string got;
+    ASSERT_TRUE(dev.Read(0, static_cast<Lpn>(i), 1, &got).status.ok());
+    EXPECT_EQ(got, Value((kRounds - 1) * 1000 + i, 'w')) << "lpn " << i;
+  }
+}
+
+// The tentpole's why: on a flush-heavy small-write workload, in-place lazy
+// destage is forced to program partial pages at every FLUSH, while the log
+// mode leaves acknowledged sectors coalescing (they are already durable)
+// and programs only full sequential segments.
+TEST(LogDestageTest, LogModeLowersWriteAmplification) {
+  auto run = [](SsdConfig::DestageMode mode) {
+    SsdConfig cfg = LogConfig();
+    cfg.destage_mode = mode;
+    cfg.log_segment_pages = 15;  // 30-sector segments: 1/16 header overhead.
+    SsdDevice dev(cfg);
+    Random rng(17);
+    SimTime t = 0;
+    for (int i = 0; i < 300; ++i) {
+      const Lpn lpn = rng.Uniform(dev.num_sectors());
+      const auto w = dev.Write(t, lpn, Value(i, 'a'));
+      EXPECT_TRUE(w.status.ok());
+      t = w.done;
+      if (i % 3 == 2) t = dev.Flush(t).done;  // Commit-like cadence.
+    }
+    EXPECT_TRUE(dev.Shutdown(t).ok());
+    return dev.WriteAmplification();
+  };
+  const double wa_in_place = run(SsdConfig::DestageMode::kInPlace);
+  const double wa_log = run(SsdConfig::DestageMode::kLogStructured);
+  EXPECT_GT(wa_in_place, 0.0);
+  EXPECT_GT(wa_log, 0.0);
+  EXPECT_LT(wa_log, wa_in_place)
+      << "log=" << wa_log << " in_place=" << wa_in_place;
+}
+
+// Acceptance guard: a device configured with the legacy in-place mode is
+// bit-identical — in time and in NAND operation counts — to one that has
+// never heard of the log (the DestageMode knob defaults to kInPlace, so
+// this pins "no perturbation when off").
+TEST(LogDestageTest, InPlaceModeUnperturbedByLogPlumbing) {
+  SsdConfig base = SsdConfig::Tiny(true);
+  base.geometry.blocks_per_plane = 64;
+  base.geometry.pages_per_block = 16;
+
+  SsdConfig explicit_in_place = base;
+  explicit_in_place.destage_mode = SsdConfig::DestageMode::kInPlace;
+
+  SsdDevice a(base);
+  SsdDevice b(explicit_in_place);
+  ASSERT_FALSE(a.UseLogDestage());
+  ASSERT_FALSE(b.UseLogDestage());
+  ASSERT_EQ(a.num_sectors(), b.num_sectors());
+
+  Random rng(23);
+  SimTime ta = 0;
+  SimTime tb = 0;
+  for (int i = 0; i < 120; ++i) {
+    const Lpn lpn = rng.Uniform(a.num_sectors());
+    const std::string v = Value(i, 'g');
+    const auto wa = a.Write(ta, lpn, v);
+    const auto wb = b.Write(tb, lpn, v);
+    ASSERT_TRUE(wa.status.ok());
+    ASSERT_TRUE(wb.status.ok());
+    ASSERT_EQ(wa.done, wb.done) << "write " << i;
+    ta = wa.done;
+    tb = wb.done;
+    if (i % 10 == 9) {
+      const auto fa = a.Flush(ta);
+      const auto fb = b.Flush(tb);
+      ASSERT_EQ(fa.done, fb.done) << "flush after write " << i;
+      ta = fa.done;
+      tb = fb.done;
+    }
+  }
+  EXPECT_EQ(a.flash().stats().programs, b.flash().stats().programs);
+  EXPECT_EQ(a.flash().stats().erases, b.flash().stats().erases);
+  EXPECT_EQ(a.stats().log_segments, 0u);
+  EXPECT_EQ(b.stats().log_segments, 0u);
+}
+
+}  // namespace
+}  // namespace durassd

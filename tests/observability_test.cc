@@ -530,6 +530,41 @@ TEST(WriteAccountingTest, SuccessfulWritesCountSectors) {
 }
 
 // ---------------------------------------------------------------------------
+// Read-cache accounting: every host-read sector is either a hit or a miss.
+
+TEST(ReadAccountingTest, HitsPlusMissesEqualHostReadSectors) {
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  SsdDevice dev(cfg);
+  const std::string data(cfg.sector_size, 'r');
+  SimTime t = 0;
+  for (Lpn l = 0; l < 6; ++l) t = dev.Write(t, l, data).done;
+
+  std::string out;
+  // Full hit: both sectors resident.
+  ASSERT_TRUE(dev.Read(t, 0, 2, &out).status.ok());
+  // Full miss: never written (unmapped reads count as misses too).
+  ASSERT_TRUE(dev.Read(t, 40, 2, &out).status.ok());
+  // Partial: one resident sector, one unwritten.
+  ASSERT_TRUE(dev.Read(t, 5, 2, &out).status.ok());
+
+  const SsdDevice::Stats& s = dev.stats();
+  EXPECT_EQ(s.host_read_sectors, 6u);
+  EXPECT_EQ(s.cache_read_hits + s.cache_read_misses, s.host_read_sectors);
+  EXPECT_EQ(s.cache_read_hits, 3u);
+  EXPECT_EQ(s.cache_read_misses, 3u);
+  EXPECT_EQ(s.cache_full_hits, 1u);
+  EXPECT_EQ(s.cache_partial_hits, 1u);
+
+  // The MetricsRegistry mirrors are registered up front and agree.
+  const auto& c = dev.metrics().counters();
+  ASSERT_NE(c.find("ssd.cache_read_sectors"), c.end());
+  ASSERT_NE(c.find("ssd.cache_read_misses"), c.end());
+  ASSERT_NE(c.find("ssd.log_segments"), c.end());
+  EXPECT_EQ(c.at("ssd.cache_read_sectors"), s.cache_read_hits);
+  EXPECT_EQ(c.at("ssd.cache_read_misses"), s.cache_read_misses);
+}
+
+// ---------------------------------------------------------------------------
 // No-perturbation guarantee: observability never advances virtual time.
 
 TEST(NoPerturbationTest, TracedRunIsBitIdenticalToUntracedRun) {

@@ -40,6 +40,34 @@ TEST(SsdDeviceTest, MultiSectorWriteRoundTrips) {
   EXPECT_EQ(out, data);
 }
 
+TEST(SsdDeviceTest, TimingOnlyCachedWriteFallsThroughToMediaOnDataRead) {
+  // Regression: a timing-only device (store_data = false) keeps dataless
+  // cache entries for its write buffer. A read that asks for real bytes
+  // (out != nullptr) must not be "served" zeros from such an entry — it has
+  // to fall through to the FTL like the cache miss it semantically is.
+  SsdConfig cfg = SsdConfig::Tiny(true);
+  cfg.store_data = false;
+  SsdDevice dev(cfg);
+  const auto w = dev.Write(0, 4, SectorData('t') + SectorData('u'));
+  ASSERT_TRUE(w.status.ok());
+  const auto f = dev.Flush(w.done);  // Both sectors now live on NAND.
+  ASSERT_TRUE(f.status.ok());
+
+  const uint64_t flash_reads_before = dev.flash().stats().reads;
+  std::string out;
+  ASSERT_TRUE(dev.Read(f.done, 4, 2, &out).status.ok());
+  EXPECT_EQ(out.size(), static_cast<size_t>(2 * kSector));
+  EXPECT_GT(dev.flash().stats().reads, flash_reads_before)
+      << "dataless cache entry served a data read without touching NAND";
+  EXPECT_EQ(dev.stats().cache_read_hits, 0u);
+  EXPECT_EQ(dev.stats().cache_read_misses, 2u);
+
+  // Timing-only probes (out == nullptr) still count as cache hits: the
+  // entries are resident, and golden-timing baselines rely on that.
+  ASSERT_TRUE(dev.Read(f.done, 4, 2, nullptr).status.ok());
+  EXPECT_EQ(dev.stats().cache_read_hits, 2u);
+}
+
 TEST(SsdDeviceTest, UnwrittenSectorsReadAsZeros) {
   SsdDevice dev(SsdConfig::Tiny(true));
   std::string out;
