@@ -11,8 +11,9 @@ Usage:
 
 Guarded metrics: per-row throughput (higher is better), plus the
 GUARDED_VALUES scalars when a baseline row carries them — currently
-write_amplification (lower is better) and cache_hit_ratio (higher is
-better).
+write_amplification (lower is better), cache_hit_ratio (higher is
+better), failover_read_p99_us (lower is better), and
+rebuild_foreground_floor (higher is better).
 
 Exit status: 0 when no guarded metric moved more than the tolerance in
 its bad direction (new rows/benches are fine, improvements are fine);
@@ -43,6 +44,10 @@ def rows_by_name(bench_doc):
 GUARDED_VALUES = {
     "write_amplification": "lower_is_better",
     "cache_hit_ratio": "higher_is_better",
+    # Array failover: post-failover read tail must not creep up, and the
+    # rebuild scheduler's foreground-throughput floor must not erode.
+    "failover_read_p99_us": "lower_is_better",
+    "rebuild_foreground_floor": "higher_is_better",
 }
 
 

@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfSpace";
     case StatusCode::kBusy:
       return "Busy";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
     case StatusCode::kNotSupported:
       return "NotSupported";
     case StatusCode::kAborted:

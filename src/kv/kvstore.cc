@@ -594,9 +594,12 @@ Status KvStore::CompactImpl(IoContext& io) {
   }
   std::sort(docs.begin(), docs.end());
 
-  // Rebuild into a fresh file.
+  // Rebuild into a fresh file. A leftover temp from an interrupted earlier
+  // compaction is expected (NotFound is fine); any other removal failure
+  // must abort the compaction rather than corrupt the swap below.
   const std::string tmp_name = name_ + ".compact";
-  fs_->Remove(tmp_name);
+  const Status rm = fs_->Remove(tmp_name);
+  if (!rm.ok() && !rm.IsNotFound()) return rm;
   SimFile* fresh = fs_->Open(tmp_name);
   file_ = fresh;
   node_cache_.clear();

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "array/array_device.h"
 #include "common/random.h"
 #include "db/database.h"
 #include "host/sim_file.h"
@@ -67,8 +68,11 @@ std::vector<Op> MakeOps(const CrashHarness::Options& opt) {
   return ops;
 }
 
-/// One full stack: device + file system. The engine lives in EngineHolder
-/// so it can be destroyed and reopened across simulated reboots.
+/// One full stack: device (raw SSD, or a mirrored array of them) + file
+/// system. The engine lives in EngineHolder so it can be destroyed and
+/// reopened across simulated reboots. The power/cut/epoch helpers fan out
+/// to whichever device backs the mount, so the torture logic below is
+/// array-agnostic.
 struct Stack {
   explicit Stack(const CrashHarness::Options& opt) {
     SsdConfig dc =
@@ -91,14 +95,73 @@ struct Stack {
       dc.faults.erase_fail_rate = 0.005;
       dc.ecc_correctable_bits = 24;
     }
-    device = std::make_unique<SsdDevice>(dc);
+    if (opt.array_mirrors > 0) {
+      ArrayConfig ac;
+      ac.layout = ArrayConfig::Layout::kMirrored;
+      ac.auto_rebuild = opt.array_rebuild;
+      ac.rebuild_batch_sectors = 64;
+      ac.rebuild_interval_ns = 100 * kMicrosecond;
+      array = MakeMirroredArray(dc, opt.array_mirrors, ac);
+    } else {
+      ssd = std::make_unique<SsdDevice>(dc);
+    }
     SimFileSystem::Options fso;
     fso.write_barriers = opt.write_barriers;
-    fs = std::make_unique<SimFileSystem>(device.get(), fso);
+    fs = std::make_unique<SimFileSystem>(dev(), fso);
+  }
+
+  BlockDevice* dev() {
+    return array != nullptr ? static_cast<BlockDevice*>(array.get())
+                            : static_cast<BlockDevice*>(ssd.get());
+  }
+  void SchedulePowerCut(SimTime t) {
+    if (array != nullptr) {
+      array->SchedulePowerCut(t);
+    } else {
+      ssd->SchedulePowerCut(t);
+    }
+  }
+  void CancelScheduledPowerCut() {
+    if (array != nullptr) {
+      array->CancelScheduledPowerCut();
+    } else {
+      ssd->CancelScheduledPowerCut();
+    }
+  }
+  void PowerCut(SimTime t) { dev()->PowerCut(t); }
+  SimTime PowerOn() { return dev()->PowerOn(); }
+  bool powered() const {
+    return array != nullptr ? array->powered() : ssd->powered();
+  }
+  bool degraded() const {
+    return array != nullptr
+               ? array->degraded() || array->any_member_media_degraded()
+               : ssd->degraded();
+  }
+  uint64_t epoch_violations() const {
+    return array != nullptr ? array->epoch_ordering_violations()
+                            : ssd->stats().epoch_ordering_violations;
+  }
+  void set_tracer(Tracer* t) {
+    // Array runs trace the read primary: its barrier/flush completions are
+    // the commit boundaries the host observes.
+    if (array != nullptr) {
+      array->member(0).set_tracer(t);
+    } else {
+      ssd->set_tracer(t);
+    }
+  }
+  /// Arms the whole-device death of member 0 at virtual time `kill` (array
+  /// stacks only; no-op otherwise).
+  void ArmKill(SimTime kill) {
+    if (array != nullptr && kill > 0) {
+      array->fault_injector().KillMemberAt(0, kill);
+    }
   }
 
   IoContext io;
-  std::unique_ptr<SsdDevice> device;
+  std::unique_ptr<SsdDevice> ssd;
+  std::unique_ptr<ArrayDevice> array;
   std::unique_ptr<SimFileSystem> fs;
 };
 
@@ -166,7 +229,7 @@ RunResult RunWorkload(Stack& s, const CrashHarness::Options& opt,
                       const std::vector<Op>& ops, SimTime cut,
                       std::vector<Model>* snapshots) {
   RunResult r;
-  if (cut > 0) s.device->SchedulePowerCut(cut);
+  if (cut > 0) s.SchedulePowerCut(cut);
   EngineHolder eng;
   Status st = OpenEngine(s, opt, &eng, /*create_tree=*/true);
   if (!st.ok()) {
@@ -251,9 +314,9 @@ RunResult RunWorkload(Stack& s, const CrashHarness::Options& opt,
 /// finished first, or the engine failed for another reason such as
 /// degradation), cut power explicitly at the execution frontier.
 void EnsureCrashed(Stack& s, SimTime cut) {
-  if (s.device->powered()) {
-    s.device->CancelScheduledPowerCut();
-    s.device->PowerCut(std::max(cut, s.io.now));
+  if (s.powered()) {
+    s.CancelScheduledPowerCut();
+    s.PowerCut(std::max(cut, s.io.now));
   }
 }
 
@@ -338,8 +401,77 @@ std::string CrashHarness::Options::ToString() const {
      << " ckpt_qd=" << checkpoint_queue_depth
      << " mode=" << DurabilityModeName(durability_mode)
      << " cut_at_boundary=" << cut_at_barrier_boundary
-     << " plant_reorder=" << plant_epoch_reorder;
+     << " plant_reorder=" << plant_epoch_reorder
+     << " mirrors=" << array_mirrors << " kill_frac=" << array_kill_fraction
+     << " rebuild=" << array_rebuild;
   return os.str();
+}
+
+CrashHarness::Options CrashHarness::Options::FromString(
+    const std::string& repro) {
+  Options o;
+  std::istringstream is(repro);
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    const auto as_bool = [&] { return val != "0" && val != "false"; };
+    if (key == "engine") {
+      o.engine = val == "kv" ? Engine::kKvStore : Engine::kDatabase;
+    } else if (key == "durable") {
+      o.durable_cache = as_bool();
+    } else if (key == "barriers") {
+      o.write_barriers = as_bool();
+    } else if (key == "dwb") {
+      o.double_write = as_bool();
+    } else if (key == "odsync") {
+      o.sync_every_page_write = as_bool();
+    } else if (key == "kv_batch") {
+      o.kv_batch_size = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "seed") {
+      o.seed = std::stoull(val);
+    } else if (key == "ops") {
+      o.ops = std::stoi(val);
+    } else if (key == "ops_per_txn") {
+      o.ops_per_txn = std::stoi(val);
+    } else if (key == "keyspace") {
+      o.keyspace = std::stoull(val);
+    } else if (key == "cut_fraction") {
+      o.cut_fraction = std::stod(val);
+    } else if (key == "nested") {
+      o.nested_cut = as_bool();
+    } else if (key == "faults") {
+      o.inject_faults = as_bool();
+    } else if (key == "ordered") {
+      o.ordered_queue = as_bool();
+    } else if (key == "log_destage") {
+      o.log_structured_destage = as_bool();
+    } else if (key == "ckpt_qd") {
+      o.checkpoint_queue_depth = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "mode") {
+      if (val == DurabilityModeName(DurabilityMode::kVolatileFlush)) {
+        o.durability_mode = DurabilityMode::kVolatileFlush;
+      } else if (val == DurabilityModeName(DurabilityMode::kBarrier)) {
+        o.durability_mode = DurabilityMode::kBarrier;
+      } else {
+        o.durability_mode = DurabilityMode::kDurableOrderedNcq;
+      }
+    } else if (key == "cut_at_boundary") {
+      o.cut_at_barrier_boundary = as_bool();
+    } else if (key == "plant_reorder") {
+      o.plant_epoch_reorder = as_bool();
+    } else if (key == "mirrors") {
+      o.array_mirrors = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "kill_frac") {
+      o.array_kill_fraction = std::stod(val);
+    } else if (key == "rebuild") {
+      o.array_rebuild = as_bool();
+    }
+    // Unknown keys are ignored: older repro lines keep working.
+  }
+  return o;
 }
 
 CrashHarness::Report CrashHarness::Run(const Options& opt) {
@@ -349,6 +481,21 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   std::map<std::string, std::set<std::string>> history;
   for (const Op& op : ops) {
     if (op.is_put) history[op.key].insert(op.value);
+  }
+
+  // ---- Optional pre-pass: the member-kill instant is a fraction of the
+  // FAULT-FREE run's duration, which only this extra kill-free, cut-free
+  // replay can reveal (the kill itself perturbs all later timing). The
+  // probe pass below then runs WITH the kill armed, so probe and crashing
+  // run stay bit-identical up to the cut. ----
+  SimTime kill_time = 0;
+  if (opt.array_mirrors > 0 && opt.array_kill_fraction > 0) {
+    Stack s(opt);
+    RunWorkload(s, opt, ops, /*cut=*/0, nullptr);
+    const SimTime t0 = std::max<SimTime>(s.io.now, 1);
+    kill_time = std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(t0) *
+                                opt.array_kill_fraction));
   }
 
   // ---- Probe pass: build the oracle on a pristine, cut-free stack. ----
@@ -361,7 +508,8 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   Tracer boundary_tracer(1 << 16);
   {
     Stack s(opt);
-    if (opt.cut_at_barrier_boundary) s.device->set_tracer(&boundary_tracer);
+    if (opt.cut_at_barrier_boundary) s.set_tracer(&boundary_tracer);
+    s.ArmKill(kill_time);
     const RunResult pr = RunWorkload(s, opt, ops, /*cut=*/0, &snapshots);
     if (!pr.open_ok) {
       AddViolation(&rep, opt, 0, "probe open failed: " + pr.fail.ToString());
@@ -406,9 +554,10 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   SimTime nested_at = 0;
   if (opt.nested_cut) {
     Stack s(opt);
+    s.ArmKill(kill_time);
     RunWorkload(s, opt, ops, cut, nullptr);
     EnsureCrashed(s, cut);
-    s.device->PowerOn();
+    s.PowerOn();
     s.io.now = 0;
     EngineHolder probe_eng;
     const Status st = OpenEngine(s, opt, &probe_eng, /*create_tree=*/false);
@@ -419,6 +568,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
 
   // ---- The crashing run. ----
   Stack s(opt);
+  s.ArmKill(kill_time);
   const RunResult rr = RunWorkload(s, opt, ops, cut, nullptr);
   EnsureCrashed(s, cut);
   rep.cuts = 1;
@@ -428,7 +578,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   // later recovers. Checked after every cut this Run performs.
   uint64_t epoch_seen = 0;
   const auto check_epoch = [&](CrashHarness::Report* r) {
-    const uint64_t v = s.device->stats().epoch_ordering_violations;
+    const uint64_t v = s.epoch_violations();
     if (v > epoch_seen) {
       AddViolation(r, opt, 5,
                    "epoch ordering: device kept a newer-epoch write while "
@@ -457,17 +607,17 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   Status open_st = Status::OK();
   for (int attempt = 0; attempt < 6; ++attempt) {
     rep.recovery_attempts++;
-    s.device->PowerOn();
+    s.PowerOn();
     s.io.now = 0;
     if (attempt == 0 && nested_at > 0) {
-      s.device->SchedulePowerCut(nested_at);
+      s.SchedulePowerCut(nested_at);
     } else {
-      s.device->CancelScheduledPowerCut();
+      s.CancelScheduledPowerCut();
     }
     eng.Reset();
     open_st = OpenEngine(s, opt, &eng, /*create_tree=*/false);
     if (open_st.ok()) {
-      s.device->CancelScheduledPowerCut();
+      s.CancelScheduledPowerCut();
       break;
     }
     if (open_st.IsDeviceOffline()) {
@@ -479,7 +629,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
 
   if (!open_st.ok()) {
     rep.recovered = false;
-    rep.degraded = s.device->degraded();
+    rep.degraded = s.degraded();
     check_epoch(&rep);  // Nested cuts during recovery are audited too.
     const bool clean = open_st.IsCorruption() || open_st.IsDataLoss();
     if (tier == Tier::kStrict || !clean) {
@@ -607,9 +757,9 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
   if (tier != Tier::kPrefix && !opt.plant_epoch_reorder) {
     const Model first = *state;
     eng.Reset();
-    s.device->PowerCut(s.io.now + 1);
+    s.PowerCut(s.io.now + 1);
     rep.cuts++;
-    s.device->PowerOn();
+    s.PowerOn();
     s.io.now = 0;
     const Status st2 = OpenEngine(s, opt, &eng, /*create_tree=*/false);
     if (!st2.ok()) {
@@ -628,7 +778,7 @@ CrashHarness::Report CrashHarness::Run(const Options& opt) {
     }
   }
 
-  rep.degraded = s.device->degraded();
+  rep.degraded = s.degraded();
   check_epoch(&rep);  // Covers the idempotency cut.
   return rep;
 }

@@ -111,11 +111,34 @@ class CrashHarness {
     /// to report a violation. A Run with this set REPORTING ok is itself
     /// the bug. Skips the idempotency phase.
     bool plant_epoch_reorder = false;
+    // --- Multi-device array scenarios ---
+    /// 0 = the raw single-device stack (the legacy path, bit-for-bit
+    /// unchanged). >= 1 = mount the engine on a mirrored ArrayDevice with
+    /// this many members; 1 is the golden single-member array, whose timing
+    /// must reproduce the raw path exactly.
+    uint32_t array_mirrors = 0;
+    /// > 0: whole-device death of member 0 (the read primary) at this
+    /// fraction of the fault-free run's virtual duration — an extra
+    /// pre-pass learns that duration first, and the probe pass runs with
+    /// the kill armed so probe and crashing run stay bit-identical up to
+    /// the cut. The workload must ride through on the survivor.
+    double array_kill_fraction = 0.0;
+    /// Hot-spare semantics: auto-start the rate-limited online rebuild
+    /// onto a fresh spare the moment the kill fires, so the power cut can
+    /// land mid-rebuild (the zero-acked-loss acceptance sweep).
+    bool array_rebuild = false;
+
     /// Optional: kInvariantViolation events are recorded here.
     Tracer* tracer = nullptr;
 
     /// Self-contained reproducer string (also prefixes every violation).
     std::string ToString() const;
+
+    /// Parses a ToString() line back into Options (unknown tokens are
+    /// ignored; `tracer` is not representable). Round-trip is exact:
+    /// FromString(o.ToString()) runs the identical scenario — this is what
+    /// makes the torture tests' printed repro lines copy-pasteable.
+    static Options FromString(const std::string& repro);
   };
 
   struct Report {

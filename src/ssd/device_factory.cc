@@ -28,6 +28,12 @@ std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
     hc.store_data = store_data;
     return std::make_unique<HddDevice>(hc);
   }
+  return std::make_unique<SsdDevice>(
+      SsdConfigForModel(model, cache_on, store_data));
+}
+
+SsdConfig SsdConfigForModel(DeviceModel model, bool cache_on,
+                            bool store_data) {
   SsdConfig c;
   switch (model) {
     case DeviceModel::kSsdA:
@@ -42,7 +48,7 @@ std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
   }
   c.cache_enabled = cache_on;
   c.store_data = store_data;
-  return std::make_unique<SsdDevice>(c);
+  return c;
 }
 
 std::unique_ptr<BlockDevice> MakeDeviceForDurabilityMode(DurabilityMode mode,

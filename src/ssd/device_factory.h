@@ -6,6 +6,7 @@
 
 #include "host/block_device.h"
 #include "host/durability_mode.h"
+#include "ssd/ssd_config.h"
 
 namespace durassd {
 
@@ -23,6 +24,12 @@ const char* DeviceModelName(DeviceModel model);
 /// `store_data` selects real-bytes vs timing-only mode.
 std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
                                         bool store_data);
+
+/// The SsdConfig preset behind `model` with the cache/data knobs applied.
+/// This is the single place the Table-1 line-up maps to configs; array
+/// builders use it to derive identical member (and spare) devices without
+/// duplicating the preset mapping. `model` must not be kHdd.
+SsdConfig SsdConfigForModel(DeviceModel model, bool cache_on, bool store_data);
 
 /// The deployment each durability mode contrasts (see DurabilityMode):
 /// kVolatileFlush -> SSD-A (volatile cache; fsync issues FLUSH CACHE),

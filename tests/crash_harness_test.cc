@@ -342,6 +342,71 @@ TEST(CrashHarnessReport, IsDeterministicAndSelfDescribing) {
   EXPECT_NE(repro.find("cut_fraction="), std::string::npos) << repro;
 }
 
+TEST(CrashHarnessReport, ReproStringRoundTripsThroughFromString) {
+  // Flip every representable knob away from its default, serialize, parse
+  // back, and re-serialize: the two strings must be identical — this is
+  // what makes a printed DURASSD_TORTURE_REPRO line trustworthy.
+  CrashHarness::Options o;
+  o.engine = Engine::kKvStore;
+  o.durable_cache = false;
+  o.write_barriers = false;
+  o.double_write = false;
+  o.sync_every_page_write = true;
+  o.ordered_queue = false;
+  o.log_structured_destage = true;
+  o.checkpoint_queue_depth = 8;
+  o.kv_batch_size = 16;
+  o.seed = 987654321;
+  o.ops = 37;
+  o.ops_per_txn = 5;
+  o.keyspace = 17;
+  o.cut_fraction = 0.375;
+  o.nested_cut = true;
+  o.inject_faults = true;
+  o.durability_mode = DurabilityMode::kBarrier;
+  o.cut_at_barrier_boundary = true;
+  o.plant_epoch_reorder = true;
+  o.array_mirrors = 3;
+  o.array_kill_fraction = 0.125;
+  o.array_rebuild = true;
+  const std::string line = o.ToString();
+  const CrashHarness::Options back = CrashHarness::Options::FromString(line);
+  EXPECT_EQ(back.ToString(), line);
+
+  // And parsing the defaults' string gives back the defaults.
+  const CrashHarness::Options d;
+  EXPECT_EQ(CrashHarness::Options::FromString(d.ToString()).ToString(),
+            d.ToString());
+  // A parsed scenario runs identically to the original Options.
+  CrashHarness::Options q = Quick();
+  q.seed = 31;
+  const auto a = CrashHarness::Run(q);
+  const auto b = CrashHarness::Run(CrashHarness::Options::FromString(
+      q.ToString()));
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.commits_acked, b.commits_acked);
+  EXPECT_EQ(a.snapshot_matched, b.snapshot_matched);
+}
+
+TEST(ArrayHarness, MirroredFailoverWithRebuildSurvivesCut) {
+  // The full-stack array scenario: engine on a mirrored pair, primary
+  // killed mid-run with a hot-spare rebuild racing the power cut. The
+  // kStrict oracle is unchanged — failover must be invisible to the engine.
+  for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+    CrashHarness::Options o = Quick();
+    o.engine = engine;
+    o.seed = 11;
+    o.cut_fraction = 0.6;
+    o.array_mirrors = 2;
+    o.array_kill_fraction = 0.3;
+    o.array_rebuild = true;
+    const CrashHarness::Report rep = CrashHarness::Run(o);
+    EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? o.ToString()
+                                                   : rep.violations[0]);
+    EXPECT_TRUE(rep.recovered);
+  }
+}
+
 TEST(CrashHarnessReport, RecordsViolationsInAttachedTracer) {
   // A healthy run records no kInvariantViolation events.
   Tracer tracer;

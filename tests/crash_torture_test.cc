@@ -5,9 +5,12 @@
 //   DURASSD_TORTURE_SEEDS=lo:hi   inclusive seed range   (default 100:105)
 //   DURASSD_TORTURE_FAIL_FILE=p   append one reproducer line per violation
 //                                 (uploaded as a CI artifact on failure)
+//   DURASSD_TORTURE_REPRO="..."   run EXACTLY this one scenario instead of
+//                                 the sweep (paste a printed repro line)
 //
-// Every violation string is self-contained: pasting it into a local
-// CrashHarness::Options reproduces the failure deterministically.
+// Every violation string is self-contained: each failure also prints a
+// single copy-pasteable `DURASSD_TORTURE_REPRO="..."` line that re-runs
+// that exact scenario via CrashHarness::Options::FromString.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -55,9 +58,22 @@ void TortureOne(const CrashHarness::Options& o, int* failures) {
   for (const std::string& v : rep.violations) {
     ADD_FAILURE() << v;
   }
+  ADD_FAILURE() << "repro: DURASSD_TORTURE_REPRO=\"" << o.ToString() << "\"";
+}
+
+/// If DURASSD_TORTURE_REPRO is set, runs that single pasted scenario and
+/// returns true (the sweep is skipped — this is the debugging mode).
+bool MaybeRunRepro() {
+  const char* repro = std::getenv("DURASSD_TORTURE_REPRO");
+  if (repro == nullptr) return false;
+  int failures = 0;
+  TortureOne(CrashHarness::Options::FromString(repro), &failures);
+  EXPECT_EQ(failures, 0) << "pasted repro still violates";
+  return true;
 }
 
 TEST(CrashTorture, SeedRangeSweep) {
+  if (MaybeRunRepro()) return;
   uint64_t lo = 0, hi = 0;
   ParseSeedRange(&lo, &hi);
   int failures = 0;

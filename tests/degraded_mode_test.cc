@@ -103,6 +103,62 @@ TEST(DegradedDeviceTest, SpareExhaustionEntersStickyReadOnly) {
   EXPECT_EQ(got, before);
 }
 
+TEST(DegradedDeviceTest, AsyncSubmitPollAwaitSurfaceDegradedErrors) {
+  // Degradation must be visible through the async command path too: a
+  // rejected write's ResourceExhausted status has to surface on completion
+  // (Poll and Await agree), not get swallowed inside the queue, and
+  // interleaved reads must still complete fine.
+  SsdDevice dev(EagerDestage(SsdConfig::Tiny(true)));
+  IoContext io;
+  const std::string before(dev.sector_size(), 'd');
+  ASSERT_TRUE(dev.Write(io.now, 0, before).status.ok());
+  io.AdvanceTo(dev.Flush(io.now).done);
+
+  ExhaustSpares(dev, io);
+
+  // A degraded write submitted asynchronously: Await surfaces the error.
+  const std::string payload(dev.sector_size(), 'z');
+  const CmdId w1 =
+      dev.Submit(io.now, BlockDevice::Command::MakeWrite(2, Slice(payload)));
+  const auto cw1 = dev.Await(w1);
+  EXPECT_TRUE(cw1.status.IsResourceExhausted()) << cw1.status.ToString();
+
+  // A batch of in-flight commands — two doomed writes around a good read —
+  // all complete through Poll with their own statuses.
+  std::string got;
+  const CmdId w2 =
+      dev.Submit(io.now, BlockDevice::Command::MakeWrite(3, Slice(payload)));
+  const CmdId r1 =
+      dev.Submit(io.now, BlockDevice::Command::MakeRead(0, 1, &got));
+  const CmdId w3 =
+      dev.Submit(io.now, BlockDevice::Command::MakeWrite(4, Slice(payload)));
+  int seen = 0;
+  bool read_ok = false;
+  int write_rejects = 0;
+  for (SimTime t = io.now; seen < 3; t += 10 * kMicrosecond) {
+    for (const auto& c : dev.Poll(t)) {
+      ++seen;
+      if (c.id == r1) {
+        read_ok = c.status.ok();
+      } else {
+        EXPECT_TRUE(c.id == w2 || c.id == w3);
+        if (c.status.IsResourceExhausted()) ++write_rejects;
+      }
+    }
+    ASSERT_LT(t, io.now + kSecond) << "async completions never drained";
+  }
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(write_rejects, 2);
+  EXPECT_EQ(got, before);
+
+  // Find() peeks at the unconsumed record with the same terminal status.
+  const CmdId w4 =
+      dev.Submit(io.now, BlockDevice::Command::MakeWrite(5, Slice(payload)));
+  ASSERT_NE(dev.Find(w4), nullptr);
+  EXPECT_TRUE(dev.Find(w4)->status.IsResourceExhausted());
+  EXPECT_TRUE(dev.Await(w4).status.IsResourceExhausted());
+}
+
 // --------------------------- Database -------------------------------------
 
 struct DbStack {
