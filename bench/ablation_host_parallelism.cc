@@ -1,0 +1,194 @@
+// Ablation (DESIGN.md §13): host-parallelism sweep over the sharded
+// virtual-time engine. Four independent engine shards (each a full
+// device -> file system -> WAL -> buffer pool -> B+-tree stack) run the
+// same deterministic upsert workload; the sweep varies only the number of
+// HOST threads the epoch-barrier executor may use. Virtual-time results
+// (ops, makespan) are bit-identical across the sweep — that is the
+// executor's determinism contract — while wall-clock throughput
+// (sim_ops_per_wall_second) is the thing host parallelism is allowed to
+// change. Wall-clock is only emitted in full runs: under --quick (CI) the
+// workload is too small for stable timing, and the regression guard would
+// flap on scheduler noise.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "db/btree.h"
+#include "db/buffer_pool.h"
+#include "db/wal.h"
+#include "host/sim_file.h"
+#include "sim/sim_executor.h"
+#include "ssd/ssd_config.h"
+#include "ssd/ssd_device.h"
+
+namespace durassd {
+namespace {
+
+class BumpAllocator : public PageAllocator {
+ public:
+  StatusOr<PageId> AllocatePage(IoContext& io) override {
+    (void)io;
+    return next_++;
+  }
+
+ private:
+  PageId next_ = 1;
+};
+
+/// One engine shard: a private full stack driven by its shard's clients.
+struct EngineShard {
+  std::unique_ptr<SsdDevice> dev;
+  std::unique_ptr<SimFileSystem> fs;
+  std::unique_ptr<Wal> wal;
+  std::unique_ptr<BufferPool> pool;
+  BumpAllocator alloc;
+  std::unique_ptr<BTree> tree;
+  uint64_t op_seq = 0;
+
+  explicit EngineShard(uint32_t seed) {
+    SsdConfig cfg = SsdConfig::DuraSsd();
+    cfg.geometry = FlashGeometry::Tiny();
+    cfg.geometry.blocks_per_plane = 128;
+    cfg.geometry.pages_per_block = 32;
+    dev = std::make_unique<SsdDevice>(cfg);
+    fs = std::make_unique<SimFileSystem>(dev.get(), SimFileSystem::Options{});
+    wal = std::make_unique<Wal>(fs->Open("wal"), Wal::Options{});
+    BufferPool::Options popts;
+    popts.pool_bytes = 2 * kMiB;
+    popts.page_size = 4 * kKiB;
+    pool = std::make_unique<BufferPool>(fs->Open("data"), wal.get(), nullptr,
+                                        popts);
+    IoContext io;
+    MutationCtx m{kInvalidLsn, 0, nullptr};
+    auto root = BTree::Create(io, pool.get(), &alloc, m);
+    tree = std::make_unique<BTree>(pool.get(), &alloc, *root);
+    op_seq = seed * 1000003ull;
+  }
+
+  /// One client op: an upsert over a 4K-key space (real page churn), with
+  /// a 5us host-CPU floor so buffer-cache hits still consume virtual time.
+  SimTime Op(SimTime now) {
+    IoContext io;
+    io.now = now;
+    MutationCtx m{kInvalidLsn, 0, nullptr};
+    const uint64_t k = op_seq++ % 4096;
+    std::string key = "key-" + std::to_string(k);
+    std::string value = "v" + std::to_string(op_seq) + std::string(90, 'x');
+    (void)tree->Put(io, m, key, value);
+    const SimTime floor = now + 5 * kMicrosecond;
+    return io.now > floor ? io.now : floor;
+  }
+};
+
+struct SweepPoint {
+  uint64_t sim_ops = 0;
+  SimTime makespan = 0;
+  double wall_seconds = 0;
+};
+
+SweepPoint RunOnce(uint32_t threads, uint64_t ops_per_shard) {
+  constexpr uint32_t kShards = 4;
+  SimExecutor::Options opts;
+  opts.epoch_ns = 100 * kMicrosecond;
+  opts.host_threads = threads;
+  std::vector<std::unique_ptr<EngineShard>> engines;
+  std::vector<ShardedExecutor::Shard> shards;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    engines.push_back(std::make_unique<EngineShard>(s + 1));
+    EngineShard* e = engines.back().get();
+    shards.push_back({/*num_clients=*/4, ops_per_shard,
+                      [e](uint32_t client, SimTime now) {
+                        (void)client;
+                        return e->Op(now);
+                      }});
+  }
+  ShardedExecutor xe(opts, std::move(shards));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = xe.RunShards(/*start_time=*/0);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepPoint p;
+  for (const auto& r : results) {
+    p.sim_ops += r.ops;
+    p.makespan = std::max(p.makespan, r.makespan);
+  }
+  p.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return p;
+}
+
+void RunSweep(uint64_t ops_per_shard, bool quick, BenchJson* json) {
+  printf("Ablation: host threads vs wall-clock throughput (sharded engine)\n");
+  printf("  4 engine shards x %llu ops; virtual-time results must be\n",
+         static_cast<unsigned long long>(ops_per_shard));
+  printf("  identical across the sweep (executor determinism contract)\n");
+  printf("  %-8s %12s %14s %14s %10s\n", "threads", "sim_ops",
+         "makespan_ms", "wall_ms", "speedup");
+
+  double base_wall = 0;
+  SweepPoint first;
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const SweepPoint p = RunOnce(threads, ops_per_shard);
+    if (threads == 1) {
+      base_wall = p.wall_seconds;
+      first = p;
+    } else if (p.sim_ops != first.sim_ops || p.makespan != first.makespan) {
+      fprintf(stderr,
+              "DETERMINISM VIOLATION: threads=%u diverged "
+              "(ops %llu vs %llu, makespan %lld vs %lld)\n",
+              threads, static_cast<unsigned long long>(p.sim_ops),
+              static_cast<unsigned long long>(first.sim_ops),
+              static_cast<long long>(p.makespan),
+              static_cast<long long>(first.makespan));
+    }
+    const double speedup =
+        p.wall_seconds > 0 ? base_wall / p.wall_seconds : 0.0;
+    printf("  %-8u %12llu %14.2f %14.1f %9.2fx\n", threads,
+           static_cast<unsigned long long>(p.sim_ops),
+           static_cast<double>(p.makespan) / kMillisecond,
+           p.wall_seconds * 1e3, speedup);
+
+    if (json->enabled()) {
+      BenchResult row{"threads=" + std::to_string(threads)};
+      row.Param("host_threads", static_cast<uint64_t>(threads))
+          .Param("shards", static_cast<uint64_t>(4))
+          .Param("ops_per_shard", ops_per_shard)
+          // Virtual-time throughput: deterministic, safe to guard per-row.
+          .Throughput(static_cast<double>(p.sim_ops) /
+                          (static_cast<double>(p.makespan) / kSecond),
+                      "sim_ops_per_sim_second")
+          .Value("sim_makespan_ns", static_cast<uint64_t>(p.makespan));
+      if (!quick) {
+        // Wall-clock scaling: guarded (higher is better), full runs only —
+        // quick-mode workloads are too small for stable wall timing.
+        row.Value("sim_ops_per_wall_second",
+                  p.wall_seconds > 0
+                      ? static_cast<double>(p.sim_ops) / p.wall_seconds
+                      : 0.0);
+      }
+      json->Add(std::move(row));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace durassd
+
+int main(int argc, char** argv) {
+  uint64_t ops_per_shard = 30000;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      ops_per_shard = 4000;
+    }
+  }
+  durassd::BenchJson json("ablation_host_parallelism",
+                          durassd::BenchJson::PathFromArgs(argc, argv), quick);
+  json.Config("ops_per_shard", ops_per_shard);
+  durassd::RunSweep(ops_per_shard, quick, &json);
+  return json.WriteFile() ? 0 : 1;
+}

@@ -12,8 +12,9 @@ Usage:
 Guarded metrics: per-row throughput (higher is better), plus the
 GUARDED_VALUES scalars when a baseline row carries them — currently
 write_amplification (lower is better), cache_hit_ratio (higher is
-better), failover_read_p99_us (lower is better), and
-rebuild_foreground_floor (higher is better).
+better), failover_read_p99_us (lower is better),
+rebuild_foreground_floor (higher is better), and
+sim_ops_per_wall_second (higher is better; full runs only).
 
 Exit status: 0 when no guarded metric moved more than the tolerance in
 its bad direction (new rows/benches are fine, improvements are fine);
@@ -48,6 +49,9 @@ GUARDED_VALUES = {
     # rebuild scheduler's foreground-throughput floor must not erode.
     "failover_read_p99_us": "lower_is_better",
     "rebuild_foreground_floor": "higher_is_better",
+    # Sharded engine: wall-clock simulation throughput (full runs only;
+    # quick runs omit it because small workloads time too noisily).
+    "sim_ops_per_wall_second": "higher_is_better",
 }
 
 

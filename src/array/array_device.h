@@ -335,14 +335,14 @@ class ArrayDevice : public BlockDevice {
   ArrayFaultInjector faults_;
   Stats stats_;
   MetricsRegistry metrics_;
-  uint64_t* c_retries_;
-  uint64_t* c_timeouts_;
-  uint64_t* c_transient_rejects_;
-  uint64_t* c_member_deaths_;
-  uint64_t* c_redirected_reads_;
-  uint64_t* c_redirected_writes_;
-  uint64_t* c_degraded_write_rejects_;
-  uint64_t* c_rebuild_copied_sectors_;
+  MetricCounter* c_retries_;
+  MetricCounter* c_timeouts_;
+  MetricCounter* c_transient_rejects_;
+  MetricCounter* c_member_deaths_;
+  MetricCounter* c_redirected_reads_;
+  MetricCounter* c_redirected_writes_;
+  MetricCounter* c_degraded_write_rejects_;
+  MetricCounter* c_rebuild_copied_sectors_;
 };
 
 /// Convenience builders (the factory seam for benches, tests, and the

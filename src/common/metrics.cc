@@ -2,15 +2,18 @@
 
 namespace durassd {
 
-uint64_t* MetricsRegistry::Counter(const std::string& name) {
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   return &counters_[name];
 }
 
-double* MetricsRegistry::Gauge(const std::string& name) {
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   return &gauges_[name];
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   return &histograms_[name];
 }
 

@@ -124,7 +124,7 @@ class Database : public PageAllocator {
   bool read_only() const { return read_only_; }
 
   const Stats& stats() const { return stats_; }
-  const BufferPool::Stats& pool_stats() const { return pool_->stats(); }
+  BufferPool::Stats pool_stats() const { return pool_->stats(); }
   const Wal::Stats& wal_stats() const { return wal_->stats(); }
   const Options& options() const { return opts_; }
   BufferPool* pool() { return pool_.get(); }
@@ -222,7 +222,7 @@ class Database : public PageAllocator {
   /// Registered in the constructor (always non-null).
   Histogram* h_txn_ns_;
   Histogram* h_fsync_ns_;
-  uint64_t* c_degraded_aborts_;
+  MetricCounter* c_degraded_aborts_;
 };
 
 }  // namespace durassd

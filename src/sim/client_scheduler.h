@@ -2,11 +2,9 @@
 #define DURASSD_SIM_CLIENT_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/types.h"
+#include "sim/sim_executor.h"
 
 namespace durassd {
 
@@ -25,30 +23,19 @@ namespace durassd {
 ///
 /// This replaces the paper's 128 real benchmark threads: deterministic,
 /// seedable, and a few orders of magnitude faster than wall-clock runs.
+///
+/// Since the SimExecutor refactor this is a thin facade: the loop lives in
+/// SerialExecutor (the default engine, bit-identical to the historical
+/// inline loop), and setting DURASSD_EXECUTOR=sharded in the environment
+/// routes every run through the epoch-barrier ShardedExecutor instead —
+/// same schedule, real host threads (see sim/sim_executor.h).
 class ClientScheduler {
  public:
   /// Runs one operation for `client` starting at local time `now`; returns
   /// the operation's completion time (>= now).
-  using ClientFn = std::function<SimTime(uint32_t client, SimTime now)>;
-
-  struct Options {
-    /// Virtual think time a client waits between one operation's
-    /// completion and its next submission (0 = fully closed loop). Models
-    /// the keying/application delay of interactive benchmark clients.
-    SimTime think_time = 0;
-  };
-
-  struct RunResult {
-    uint64_t ops = 0;
-    SimTime makespan = 0;  ///< Virtual time when the last client finished.
-
-    double OpsPerSecond() const {
-      return makespan <= 0
-                 ? 0.0
-                 : static_cast<double>(ops) /
-                       (static_cast<double>(makespan) / kSecond);
-    }
-  };
+  using ClientFn = SimExecutor::ClientFn;
+  using Options = SimExecutor::Options;
+  using RunResult = SimExecutor::RunResult;
 
   /// Runs `total_ops` operations spread across `num_clients` clients
   /// starting at `start_time`. Each pop resumes the runnable client with
@@ -57,33 +44,7 @@ class ClientScheduler {
   static RunResult Run(uint32_t num_clients, uint64_t total_ops,
                        SimTime start_time, const ClientFn& fn,
                        const Options& options) {
-    RunResult result;
-    if (num_clients == 0 || total_ops == 0) return result;
-    struct Entry {
-      SimTime at;
-      uint64_t seq;  ///< Enqueue order: the FIFO tie-break among equal clocks.
-      uint32_t client;
-    };
-    const auto later = [](const Entry& a, const Entry& b) {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    };
-    std::priority_queue<Entry, std::vector<Entry>, decltype(later)> heap(
-        later);
-    uint64_t seq = 0;
-    for (uint32_t c = 0; c < num_clients; ++c) {
-      heap.push(Entry{start_time, seq++, c});
-    }
-    SimTime latest = start_time;
-    while (result.ops < total_ops && !heap.empty()) {
-      const Entry e = heap.top();
-      heap.pop();
-      const SimTime done = fn(e.client, e.at);
-      latest = done > latest ? done : latest;
-      result.ops++;
-      heap.push(Entry{done + options.think_time, seq++, e.client});
-    }
-    result.makespan = latest - start_time;
-    return result;
+    return RunClients(num_clients, total_ops, start_time, fn, options);
   }
 
   static RunResult Run(uint32_t num_clients, uint64_t total_ops,
