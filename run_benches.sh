@@ -58,7 +58,8 @@ for b in table1_fsync_iops table2_page_size fig5_linkbench fig6_buffer_sweep \
          ablation_parallelism ablation_gc ablation_dump_area \
          ablation_endurance ablation_flush_semantics ablation_queue_depth \
          ablation_durability_mode ablation_destage_mode \
-         ablation_array_failover ablation_host_parallelism; do
+         ablation_array_failover ablation_host_parallelism \
+         ablation_tiered_cache; do
   run_bench "$b"
 done
 run_bench micro_ops --benchmark_min_time=0.1

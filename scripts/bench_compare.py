@@ -13,8 +13,10 @@ Guarded metrics: per-row throughput (higher is better), plus the
 GUARDED_VALUES scalars when a baseline row carries them — currently
 write_amplification (lower is better), cache_hit_ratio (higher is
 better), failover_read_p99_us (lower is better),
-rebuild_foreground_floor (higher is better), and
-sim_ops_per_wall_second (higher is better; full runs only).
+rebuild_foreground_floor (higher is better),
+sim_ops_per_wall_second (higher is better; full runs only),
+tier_hit_ratio (higher is better), and rewarm_seconds (lower is
+better).
 
 Exit status: 0 when no guarded metric moved more than the tolerance in
 its bad direction (new rows/benches are fine, improvements are fine);
@@ -52,6 +54,11 @@ GUARDED_VALUES = {
     # Sharded engine: wall-clock simulation throughput (full runs only;
     # quick runs omit it because small workloads time too noisily).
     "sim_ops_per_wall_second": "higher_is_better",
+    # Tiered cache: the hot-set hit ratio must not erode, and the warm
+    # post-recovery rewarm pass must stay flash-fast (the cold arm's row
+    # is guarded too — a slowdown there signals a destage regression).
+    "tier_hit_ratio": "higher_is_better",
+    "rewarm_seconds": "lower_is_better",
 }
 
 

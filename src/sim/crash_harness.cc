@@ -14,6 +14,7 @@
 #include "kv/kvstore.h"
 #include "ssd/ssd_config.h"
 #include "ssd/ssd_device.h"
+#include "tier/tiered_device.h"
 
 namespace durassd {
 namespace {
@@ -25,6 +26,9 @@ using Engine = CrashHarness::Engine;
 enum class Tier { kStrict, kClean, kPrefix };
 
 Tier TierFor(const CrashHarness::Options& opt) {
+  // The tiered stack acks through the flash tier's journal: durable +
+  // ordered regardless of the (ignored) volatile-cache knobs.
+  if (opt.tiered) return Tier::kStrict;
   if (opt.durable_cache) return Tier::kStrict;
   if (!opt.write_barriers) return Tier::kPrefix;
   if (opt.engine == Engine::kDatabase && !opt.double_write) {
@@ -95,7 +99,27 @@ struct Stack {
       dc.faults.erase_fail_rate = 0.005;
       dc.ecc_correctable_bits = 24;
     }
-    if (opt.array_mirrors > 0) {
+    if (opt.tiered) {
+      // Flash tier: the durable-cache preset on the harness's tiny
+      // geometry (the tiered stack always runs the DuraSSD flash tier —
+      // the directory's commit point needs it). Capacity tier: a small
+      // HDD so cuts land with destage runs and track-cache state live.
+      TieredConfig tc;
+      tc.flash = SsdConfig::DuraSsd();
+      tc.flash.geometry = dc.geometry;
+      tc.flash.capacitor_budget_bytes = dc.capacitor_budget_bytes;
+      tc.flash.faults = dc.faults;
+      tc.flash.ecc_correctable_bits = dc.ecc_correctable_bits;
+      tc.capacity_is_hdd = true;
+      tc.capacity_hdd.num_sectors = 16384;  // 64 MiB capacity tier.
+      tc.flash_pct = opt.tier_flash_pct;
+      tc.admission = opt.tier_admission == 0
+                         ? TieredConfig::Admission::kAll
+                         : TieredConfig::Admission::kBypassSequential;
+      tc.destage_batch = opt.tier_destage_batch;
+      tc.warm_recovery = opt.tier_warm;
+      tier = MakeTieredDevice(tc);
+    } else if (opt.array_mirrors > 0) {
       ArrayConfig ac;
       ac.layout = ArrayConfig::Layout::kMirrored;
       ac.auto_rebuild = opt.array_rebuild;
@@ -111,18 +135,23 @@ struct Stack {
   }
 
   BlockDevice* dev() {
+    if (tier != nullptr) return tier.get();
     return array != nullptr ? static_cast<BlockDevice*>(array.get())
                             : static_cast<BlockDevice*>(ssd.get());
   }
   void SchedulePowerCut(SimTime t) {
-    if (array != nullptr) {
+    if (tier != nullptr) {
+      tier->SchedulePowerCut(t);
+    } else if (array != nullptr) {
       array->SchedulePowerCut(t);
     } else {
       ssd->SchedulePowerCut(t);
     }
   }
   void CancelScheduledPowerCut() {
-    if (array != nullptr) {
+    if (tier != nullptr) {
+      tier->CancelScheduledPowerCut();
+    } else if (array != nullptr) {
       array->CancelScheduledPowerCut();
     } else {
       ssd->CancelScheduledPowerCut();
@@ -131,21 +160,27 @@ struct Stack {
   void PowerCut(SimTime t) { dev()->PowerCut(t); }
   SimTime PowerOn() { return dev()->PowerOn(); }
   bool powered() const {
+    if (tier != nullptr) return tier->powered();
     return array != nullptr ? array->powered() : ssd->powered();
   }
   bool degraded() const {
+    if (tier != nullptr) return tier->degraded();
     return array != nullptr
                ? array->degraded() || array->any_member_media_degraded()
                : ssd->degraded();
   }
   uint64_t epoch_violations() const {
+    if (tier != nullptr) return tier->epoch_ordering_violations();
     return array != nullptr ? array->epoch_ordering_violations()
                             : ssd->stats().epoch_ordering_violations;
   }
   void set_tracer(Tracer* t) {
     // Array runs trace the read primary: its barrier/flush completions are
-    // the commit boundaries the host observes.
-    if (array != nullptr) {
+    // the commit boundaries the host observes. Tiered runs trace the flash
+    // tier for the same reason.
+    if (tier != nullptr) {
+      tier->set_tracer(t);
+    } else if (array != nullptr) {
       array->member(0).set_tracer(t);
     } else {
       ssd->set_tracer(t);
@@ -162,6 +197,7 @@ struct Stack {
   IoContext io;
   std::unique_ptr<SsdDevice> ssd;
   std::unique_ptr<ArrayDevice> array;
+  std::unique_ptr<TieredDevice> tier;
   std::unique_ptr<SimFileSystem> fs;
 };
 
@@ -403,7 +439,9 @@ std::string CrashHarness::Options::ToString() const {
      << " cut_at_boundary=" << cut_at_barrier_boundary
      << " plant_reorder=" << plant_epoch_reorder
      << " mirrors=" << array_mirrors << " kill_frac=" << array_kill_fraction
-     << " rebuild=" << array_rebuild;
+     << " rebuild=" << array_rebuild << " tiered=" << tiered
+     << " tier_pct=" << tier_flash_pct << " tier_adm=" << tier_admission
+     << " tier_batch=" << tier_destage_batch << " tier_warm=" << tier_warm;
   return os.str();
 }
 
@@ -468,6 +506,16 @@ CrashHarness::Options CrashHarness::Options::FromString(
       o.array_kill_fraction = std::stod(val);
     } else if (key == "rebuild") {
       o.array_rebuild = as_bool();
+    } else if (key == "tiered") {
+      o.tiered = as_bool();
+    } else if (key == "tier_pct") {
+      o.tier_flash_pct = std::stod(val);
+    } else if (key == "tier_adm") {
+      o.tier_admission = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "tier_batch") {
+      o.tier_destage_batch = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "tier_warm") {
+      o.tier_warm = as_bool();
     }
     // Unknown keys are ignored: older repro lines keep working.
   }

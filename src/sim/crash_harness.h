@@ -127,6 +127,22 @@ class CrashHarness {
     /// onto a fresh spare the moment the kill fires, so the power cut can
     /// land mid-rebuild (the zero-acked-loss acceptance sweep).
     bool array_rebuild = false;
+    // --- Tiered (flash-extended-cache) scenarios ---
+    /// Mount the engine on a TieredDevice: a small durable-cache flash
+    /// tier fronting an HDD capacity tier, with the persistent cache
+    /// directory journaled on flash. Host acks are flash-journal acks, so
+    /// the stack earns the kStrict oracle regardless of `durable_cache`
+    /// (which is ignored). Mutually exclusive with array_mirrors.
+    bool tiered = false;
+    /// Flash-tier size as a percentage of the capacity tier.
+    double tier_flash_pct = 10.0;
+    /// Read-miss admission: 0 = admit all, 1 = bypass sequential scans.
+    uint32_t tier_admission = 1;
+    /// Dirty victims per group-destage round.
+    uint32_t tier_destage_batch = 16;
+    /// false = drop the directory at PowerOn (cold-start baseline): the
+    /// invariants must hold either way — only warmth differs.
+    bool tier_warm = true;
 
     /// Optional: kInvariantViolation events are recorded here.
     Tracer* tracer = nullptr;

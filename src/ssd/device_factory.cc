@@ -23,13 +23,17 @@ const char* DeviceModelName(DeviceModel model) {
 std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
                                         bool store_data) {
   if (model == DeviceModel::kHdd) {
-    HddDevice::Config hc;
-    hc.cache_enabled = cache_on;
-    hc.store_data = store_data;
-    return std::make_unique<HddDevice>(hc);
+    return std::make_unique<HddDevice>(HddConfigForModel(cache_on, store_data));
   }
   return std::make_unique<SsdDevice>(
       SsdConfigForModel(model, cache_on, store_data));
+}
+
+HddDevice::Config HddConfigForModel(bool cache_on, bool store_data) {
+  HddDevice::Config hc;
+  hc.cache_enabled = cache_on;
+  hc.store_data = store_data;
+  return hc;
 }
 
 SsdConfig SsdConfigForModel(DeviceModel model, bool cache_on,

@@ -6,6 +6,7 @@
 
 #include "host/block_device.h"
 #include "host/durability_mode.h"
+#include "ssd/hdd_device.h"
 #include "ssd/ssd_config.h"
 
 namespace durassd {
@@ -30,6 +31,11 @@ std::unique_ptr<BlockDevice> MakeDevice(DeviceModel model, bool cache_on,
 /// builders use it to derive identical member (and spare) devices without
 /// duplicating the preset mapping. `model` must not be kHdd.
 SsdConfig SsdConfigForModel(DeviceModel model, bool cache_on, bool store_data);
+
+/// The HDD preset (Table 1's Cheetah 15K.6 row) with the cache/data knobs
+/// applied — the counterpart of SsdConfigForModel for kHdd, and the default
+/// capacity tier of a TieredDevice.
+HddDevice::Config HddConfigForModel(bool cache_on, bool store_data);
 
 /// The deployment each durability mode contrasts (see DurabilityMode):
 /// kVolatileFlush -> SSD-A (volatile cache; fsync issues FLUSH CACHE),

@@ -63,18 +63,37 @@ SimTime HddDevice::DestageToMedia(SimTime t, Lpn lpn, Slice data,
 }
 
 BlockDevice::Result HddDevice::Execute(SimTime t, const Command& cmd) {
+  if (cut_armed_ && t >= scheduled_cut_) {
+    const SimTime cut = scheduled_cut_;
+    ++scheduled_cuts_tripped_;
+    PowerCut(cut);
+    return {Status::DeviceOffline("scheduled power cut"), cut};
+  }
+  Result r;
   switch (cmd.op) {
     case Command::Op::kWrite:
-      return DoWrite(t, cmd.lpn, cmd.data);
+      r = DoWrite(t, cmd.lpn, cmd.data);
+      break;
     case Command::Op::kRead:
-      return DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
+      r = DoRead(t, cmd.lpn, cmd.nsec, cmd.out);
+      break;
     case Command::Op::kFlush:
-      return DoFlush(t);
     case Command::Op::kBarrier:
       // No barrier support on disk: ordering requires the full drain.
-      return DoFlush(t);
+      r = DoFlush(t);
+      break;
   }
-  return {Status::InvalidArgument("unknown command op"), t};
+  if (cut_armed_ && r.status.ok() && r.done > scheduled_cut_) {
+    // Causality guard (SsdDevice::CutBeforeCompletion's contract): a
+    // completion past the armed instant must not be acknowledged — power
+    // failed first. PowerCut's shear/clear rollback reverts the effects
+    // the dispatch above already applied.
+    const SimTime cut = scheduled_cut_;
+    ++scheduled_cuts_tripped_;
+    PowerCut(cut);
+    return {Status::DeviceOffline("scheduled power cut"), cut};
+  }
+  return r;
 }
 
 BlockDevice::Result HddDevice::DoWrite(SimTime now, Lpn lpn, Slice data) {
@@ -183,6 +202,7 @@ BlockDevice::Result HddDevice::DoFlush(SimTime now) {
 }
 
 void HddDevice::PowerCut(SimTime t) {
+  cut_armed_ = false;
   if (!powered_) return;
   powered_ = false;
 
@@ -219,6 +239,7 @@ void HddDevice::PowerCut(SimTime t) {
   bus_.Reset();
   arm_.Reset();
   max_time_seen_ = 0;
+  last_flush_done_ = 0;  // The clock restarts at zero after PowerOn.
   AbortInFlight(t);
 }
 

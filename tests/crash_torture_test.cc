@@ -119,11 +119,30 @@ TEST(CrashTorture, SeedRangeSweep) {
           ++ran;
         }
       }
+
+      // Tiered stack (flash extended cache over HDD): host acks are flash-
+      // journal acks, so the kStrict oracle applies. Rotate warmth and
+      // admission across the range; tiny destage batches keep a group
+      // destage in flight at most cut instants.
+      CrashHarness::Options t;
+      t.engine = engine;
+      t.tiered = true;
+      t.ops = 48;
+      t.keyspace = 32;
+      t.seed = seed;
+      t.cut_fraction = engine == Engine::kDatabase ? 0.4 : 0.7;
+      t.tier_destage_batch = 8;
+      t.tier_admission = seed % 2;
+      t.tier_warm = (seed + (engine == Engine::kDatabase ? 0 : 1)) % 2 == 0;
+      t.nested_cut = seed % 2 == 0;
+      TortureOne(t, &failures);
+      ++ran;
     }
   }
   EXPECT_EQ(failures, 0);
-  // 12 scenarios per seed; the default range keeps local runs quick.
-  EXPECT_EQ(ran, (hi - lo + 1) * 12);
+  // 14 scenarios per seed (12 raw-stack + 2 tiered); the default range
+  // keeps local runs quick.
+  EXPECT_EQ(ran, (hi - lo + 1) * 14);
 }
 
 }  // namespace

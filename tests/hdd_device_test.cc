@@ -125,5 +125,59 @@ TEST(HddDeviceTest, RejectsOutOfRange) {
   EXPECT_FALSE(hdd.Read(0, 4095, 2, nullptr).status.ok());
 }
 
+TEST(HddDeviceTest, ScheduledCutTripsOnSubmissionAtOrPastInstant) {
+  HddDevice hdd(SmallHdd());
+  hdd.SchedulePowerCut(10 * kMillisecond);
+  ASSERT_TRUE(hdd.scheduled_cut_armed());
+  const auto w = hdd.Write(10 * kMillisecond, 0, SectorData('x'));
+  EXPECT_TRUE(w.status.IsDeviceOffline());
+  EXPECT_EQ(w.done, 10 * kMillisecond);  // Completion snaps to the cut.
+  EXPECT_FALSE(hdd.powered());
+  EXPECT_FALSE(hdd.scheduled_cut_armed());
+  EXPECT_EQ(hdd.scheduled_cuts_tripped(), 1u);
+}
+
+TEST(HddDeviceTest, ScheduledCutGuardsCompletionCausality) {
+  // An uncached write submitted BEFORE the instant whose media completion
+  // lands PAST it must not be acknowledged — the same causality guard
+  // SsdDevice::CutBeforeCompletion applies (a media pass costs ms, so an
+  // instant shortly after submission always lands mid-command).
+  HddDevice hdd(SmallHdd(false));
+  hdd.SchedulePowerCut(100 * kMicrosecond);
+  const auto w = hdd.Write(0, 3, SectorData('G'));
+  EXPECT_TRUE(w.status.IsDeviceOffline());
+  EXPECT_EQ(w.done, 100 * kMicrosecond);
+  EXPECT_FALSE(hdd.powered());
+  // The torn/lost shear of the reverted command is the device's normal
+  // power-cut behavior: never the full new value.
+  hdd.PowerOn();
+  std::string out;
+  ASSERT_TRUE(hdd.Read(0, 3, 1, &out).status.ok());
+  EXPECT_NE(out, SectorData('G'));
+}
+
+TEST(HddDeviceTest, ScheduledCutSparesCacheAckedWrite) {
+  // A cached write acks at bus speed, long before the armed instant: the
+  // ack stands (the data may still die with the volatile cache — that is
+  // the honest volatile-cache contract, not a causality violation).
+  HddDevice hdd(SmallHdd(true));
+  hdd.SchedulePowerCut(50 * kMillisecond);
+  const auto w = hdd.Write(0, 7, SectorData('c'));
+  EXPECT_TRUE(w.status.ok());
+  EXPECT_LT(w.done, 50 * kMillisecond);
+  EXPECT_TRUE(hdd.powered());
+}
+
+TEST(HddDeviceTest, CancelScheduledCutDisarms) {
+  HddDevice hdd(SmallHdd());
+  hdd.SchedulePowerCut(1 * kMicrosecond);
+  hdd.CancelScheduledPowerCut();
+  EXPECT_FALSE(hdd.scheduled_cut_armed());
+  const auto w = hdd.Write(5 * kMillisecond, 0, SectorData('y'));
+  EXPECT_TRUE(w.status.ok());
+  EXPECT_TRUE(hdd.powered());
+  EXPECT_EQ(hdd.scheduled_cuts_tripped(), 0u);
+}
+
 }  // namespace
 }  // namespace durassd

@@ -1,0 +1,115 @@
+// CI torture entry point for the tiered (flash-extended-cache) stack:
+// seed-range sweeps of the crash harness mounted on a TieredDevice — a
+// durable-cache flash tier journaling its cache directory over an HDD
+// capacity tier — so cuts land mid-destage, mid-admission, and mid-
+// checkpoint. Same environment contract as crash_torture_test:
+//
+//   DURASSD_TORTURE_SEEDS=lo:hi   inclusive seed range   (default 100:103)
+//   DURASSD_TORTURE_FAIL_FILE=p   append one reproducer line per violation
+//   DURASSD_TORTURE_REPRO="..."   run EXACTLY this one scenario instead of
+//                                 the sweep (paste a printed repro line)
+//
+// Every violation line round-trips through Options::FromString, so pasting
+// it into DURASSD_TORTURE_REPRO reproduces the failure deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/crash_harness.h"
+
+namespace durassd {
+namespace {
+
+using Engine = CrashHarness::Engine;
+
+void ParseSeedRange(uint64_t* lo, uint64_t* hi) {
+  *lo = 100;
+  *hi = 103;
+  const char* env = std::getenv("DURASSD_TORTURE_SEEDS");
+  if (env == nullptr) return;
+  uint64_t a = 0, b = 0;
+  if (std::sscanf(env, "%llu:%llu", reinterpret_cast<unsigned long long*>(&a),
+                  reinterpret_cast<unsigned long long*>(&b)) == 2 &&
+      a <= b) {
+    *lo = a;
+    *hi = b;
+  }
+}
+
+void AppendFailures(const std::vector<std::string>& violations) {
+  const char* path = std::getenv("DURASSD_TORTURE_FAIL_FILE");
+  if (path == nullptr || violations.empty()) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  for (const std::string& v : violations) {
+    std::fprintf(f, "%s\n", v.c_str());
+  }
+  std::fclose(f);
+}
+
+void TortureOne(const CrashHarness::Options& o, int* failures) {
+  const CrashHarness::Report rep = CrashHarness::Run(o);
+  if (rep.ok) return;
+  ++*failures;
+  AppendFailures(rep.violations);
+  for (const std::string& v : rep.violations) {
+    ADD_FAILURE() << v;
+  }
+  ADD_FAILURE() << "repro: DURASSD_TORTURE_REPRO=\"" << o.ToString() << "\"";
+}
+
+/// If DURASSD_TORTURE_REPRO is set, runs that single pasted scenario and
+/// returns true (the sweep is skipped — this is the debugging mode).
+bool MaybeRunRepro() {
+  const char* repro = std::getenv("DURASSD_TORTURE_REPRO");
+  if (repro == nullptr) return false;
+  int failures = 0;
+  TortureOne(CrashHarness::Options::FromString(repro), &failures);
+  EXPECT_EQ(failures, 0) << "pasted repro still violates";
+  return true;
+}
+
+// Host acks on the tiered stack are flash-journal acks, so the stack earns
+// the kStrict oracle: recovery must succeed and reproduce the committed
+// snapshot — warm or cold, admit-all or scan-bypass, any destage cadence.
+TEST(TieredTorture, SeedRangeSweep) {
+  if (MaybeRunRepro()) return;
+  uint64_t lo = 0, hi = 0;
+  ParseSeedRange(&lo, &hi);
+  int failures = 0;
+  uint64_t ran = 0;
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    for (Engine engine : {Engine::kDatabase, Engine::kKvStore}) {
+      for (double cut : {0.3, 0.75}) {
+        CrashHarness::Options o;
+        o.engine = engine;
+        o.tiered = true;
+        o.ops = 48;
+        o.keyspace = 32;
+        o.seed = seed;
+        o.cut_fraction = cut;
+        // Rotate the tier knobs across the range: tiny destage batches
+        // keep a round in flight at most instants; a small flash tier
+        // forces eviction pressure; alternating admission exercises both
+        // policies; cold-start scenarios prove correctness never depended
+        // on warmth.
+        o.tier_flash_pct = seed % 2 == 0 ? 10.0 : 4.0;
+        o.tier_admission = (seed + (cut < 0.5 ? 0 : 1)) % 2;
+        o.tier_destage_batch = cut < 0.5 ? 8 : 24;
+        o.tier_warm = (seed + (engine == Engine::kDatabase ? 0 : 1)) % 2 == 0;
+        o.nested_cut = seed % 2 == 0 && cut < 0.5;
+        TortureOne(o, &failures);
+        ++ran;
+      }
+    }
+  }
+  EXPECT_EQ(failures, 0);
+  // 4 scenarios per seed; the default range keeps local runs quick.
+  EXPECT_EQ(ran, (hi - lo + 1) * 4);
+}
+
+}  // namespace
+}  // namespace durassd
